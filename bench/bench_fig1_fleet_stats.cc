@@ -1,0 +1,95 @@
+// Figure 1 (a): distribution of clusters by the percentage of queries that
+// were daily-unique (not repeated within 24h).
+// Figure 1 (b): distribution of query latency across the fleet (percentiles
+// from 0.01% to 99.99%).
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "bench_common.h"
+#include "stage/common/stats.h"
+#include "stage/metrics/report.h"
+#include "stage/plan/featurizer.h"
+
+using namespace stage;
+
+int main() {
+  bench::SuiteConfig suite = bench::MakeSuiteConfig();
+  fleet::FleetConfig config = bench::EvalFleetConfig(suite);
+  config.num_instances = std::max(30, suite.num_eval_instances);
+  // Dense enough that daily repetition is observable: a trace with only a
+  // hundred queries/day over hundreds of templates under-counts repeats.
+  config.workload.num_queries = std::max(4000, suite.queries_per_instance);
+  config.workload.days = 5;
+  fleet::FleetGenerator generator(config);
+
+  std::vector<double> unique_fractions;
+  std::vector<double> latencies;
+  constexpr int64_t kDayMs = 24 * 3600 * 1000;
+  for (int i = 0; i < config.num_instances; ++i) {
+    const fleet::InstanceTrace instance = generator.MakeInstanceTrace(i);
+    std::unordered_map<uint64_t, int64_t> last_seen;
+    int unique = 0;
+    for (const fleet::QueryEvent& event : instance.trace) {
+      const uint64_t hash =
+          plan::HashFeatures(plan::FlattenPlan(event.plan));
+      const auto it = last_seen.find(hash);
+      if (it == last_seen.end() || event.arrival_ms - it->second > kDayMs) {
+        ++unique;
+      }
+      last_seen[hash] = event.arrival_ms;
+      latencies.push_back(event.exec_seconds);
+    }
+    unique_fractions.push_back(static_cast<double>(unique) /
+                               static_cast<double>(instance.trace.size()));
+  }
+
+  std::printf("=== Figure 1a: clusters by %% of daily-unique queries ===\n");
+  std::printf("(paper: wide spread; >60%% of fleet queries repeat daily)\n\n");
+  metrics::TextTable histogram;
+  histogram.SetHeader({"% unique bucket", "# clusters", "bar"});
+  for (int b = 0; b < 10; ++b) {
+    const double lo = b * 0.1;
+    const double hi = lo + 0.1;
+    int count = 0;
+    for (double f : unique_fractions) {
+      if (f >= lo && (f < hi || (b == 9 && f <= 1.0))) ++count;
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "%2.0f%% - %3.0f%%", lo * 100,
+                  hi * 100);
+    histogram.AddRow({label, std::to_string(count), std::string(count, '#')});
+  }
+  std::printf("%s\n", histogram.Render().c_str());
+  const double mean_unique = Mean(unique_fractions);
+  std::printf("fleet mean daily-unique fraction: %s (=> %s repeated)\n\n",
+              metrics::FormatPercent(mean_unique).c_str(),
+              metrics::FormatPercent(1.0 - mean_unique).c_str());
+
+  std::printf("=== Figure 1b: query latency distribution (fleet) ===\n");
+  std::printf("(paper: heavy-tailed; a large share of queries is sub-second)\n\n");
+  std::sort(latencies.begin(), latencies.end());
+  metrics::TextTable percentiles;
+  percentiles.SetHeader({"percentile", "latency (s)"});
+  for (double q : {0.0001, 0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99,
+                   0.999, 0.9999}) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.2f%%", q * 100);
+    percentiles.AddRow(
+        {label, metrics::FormatValue(SortedQuantile(latencies, q))});
+  }
+  std::printf("%s\n", percentiles.Render().c_str());
+
+  int below_100ms = 0;
+  int below_10s = 0;
+  for (double v : latencies) {
+    below_100ms += v < 0.1 ? 1 : 0;
+    below_10s += v < 10.0 ? 1 : 0;
+  }
+  const double n = static_cast<double>(latencies.size());
+  std::printf("fraction < 100ms: %s | fraction < 10s: %s | total queries: %zu\n",
+              metrics::FormatPercent(below_100ms / n).c_str(),
+              metrics::FormatPercent(below_10s / n).c_str(),
+              latencies.size());
+  return 0;
+}

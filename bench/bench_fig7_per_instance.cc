@@ -1,0 +1,67 @@
+// Figure 7: per-instance average-latency improvement of Stage and Optimal
+// over the AutoWLM predictor, with instances sorted by the improvement the
+// Optimal predictor achieves (as in the paper's figure).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "stage/metrics/report.h"
+#include "stage/wlm/trace_util.h"
+#include "stage/wlm/workload_manager.h"
+
+using namespace stage;
+
+int main() {
+  bench::SuiteConfig suite = bench::MakeSuiteConfig();
+  const global::GlobalModel global_model = bench::TrainGlobalModel(suite);
+  const auto evals = bench::RunSuite(suite, &global_model);
+
+  wlm::WlmConfig config;
+  config.short_slots = 2;
+  config.long_slots = 3;
+  const int total_slots = config.short_slots + config.long_slots;
+
+  struct Row {
+    int instance_id;
+    double stage_improvement;
+    double optimal_improvement;
+  };
+  std::vector<Row> rows;
+  for (const auto& eval : evals) {
+    const auto trace =
+        wlm::CompressToUtilization(eval.instance.trace, total_slots, 0.75);
+    const double autowlm =
+        wlm::SimulateWlm(trace, eval.autowlm.Predictions(), config)
+            .AverageLatency();
+    const double stage =
+        wlm::SimulateWlm(trace, eval.stage.Predictions(), config)
+            .AverageLatency();
+    const double optimal =
+        wlm::SimulateWlm(trace, eval.stage.Actuals(), config)
+            .AverageLatency();
+    rows.push_back({eval.instance.config.instance_id,
+                    1.0 - stage / autowlm, 1.0 - optimal / autowlm});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.optimal_improvement > b.optimal_improvement;
+  });
+
+  std::printf("=== Figure 7: per-instance avg-latency improvement over "
+              "AutoWLM ===\n(paper shape: Stage improves most instances; a "
+              "small minority regress; Optimal bounds the headroom)\n\n");
+  metrics::TextTable table;
+  table.SetHeader({"rank", "instance", "Stage impr.", "Optimal impr."});
+  int improved = 0;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    table.AddRow({std::to_string(r + 1),
+                  std::to_string(rows[r].instance_id),
+                  metrics::FormatPercent(rows[r].stage_improvement),
+                  metrics::FormatPercent(rows[r].optimal_improvement)});
+    improved += rows[r].stage_improvement > 0.0 ? 1 : 0;
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Stage improved %d of %zu instances (paper: regressions on "
+              "<10%% of instances)\n",
+              improved, rows.size());
+  return 0;
+}

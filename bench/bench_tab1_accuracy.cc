@@ -1,0 +1,70 @@
+// Table 1: prediction accuracy (absolute error, seconds) of the Stage
+// predictor vs the AutoWLM predictor, bucketed by actual exec-time.
+// Figure 8: the distribution of absolute error for both predictors
+// (printed as a percentile series).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "stage/common/stats.h"
+#include "stage/metrics/report.h"
+
+using namespace stage;
+
+int main() {
+  const bench::SuiteConfig suite = bench::MakeSuiteConfig();
+  const global::GlobalModel global_model = bench::TrainGlobalModel(suite);
+  const auto evals = bench::RunSuite(suite, &global_model);
+  const bench::PooledSeries pooled = bench::PoolRecords(evals);
+
+  const auto stage_errors =
+      metrics::AbsoluteErrors(pooled.actual, pooled.stage_predicted);
+  const auto autowlm_errors =
+      metrics::AbsoluteErrors(pooled.actual, pooled.autowlm_predicted);
+  const auto stage_summary =
+      metrics::SummarizeByBucket(pooled.actual, stage_errors);
+  const auto autowlm_summary =
+      metrics::SummarizeByBucket(pooled.actual, autowlm_errors);
+
+  std::printf("%s\n",
+              bench::RenderBucketTable(
+                  "=== Table 1: absolute error (seconds), Stage vs AutoWLM "
+                  "===\n(paper shape: Stage ~2x better overall, >2-3x "
+                  "better below 60s, milder gains above)",
+                  "AE", "Stage", stage_summary, "AutoWLM", autowlm_summary)
+                  .c_str());
+
+  std::printf("=== Figure 8: absolute-error distribution ===\n\n");
+  metrics::TextTable table;
+  table.SetHeader({"percentile", "Stage AE (s)", "AutoWLM AE (s)"});
+  std::vector<double> stage_sorted = stage_errors;
+  std::vector<double> autowlm_sorted = autowlm_errors;
+  std::sort(stage_sorted.begin(), stage_sorted.end());
+  std::sort(autowlm_sorted.begin(), autowlm_sorted.end());
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    char label[16];
+    std::snprintf(label, sizeof(label), "p%.0f", q * 100);
+    table.AddRow({label,
+                  metrics::FormatValue(SortedQuantile(stage_sorted, q)),
+                  metrics::FormatValue(SortedQuantile(autowlm_sorted, q))});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  uint64_t cache = 0;
+  uint64_t local = 0;
+  uint64_t global = 0;
+  uint64_t total = 0;
+  for (const auto& eval : evals) {
+    cache += eval.stage_cache_predictions;
+    local += eval.stage_local_predictions;
+    global += eval.stage_global_predictions;
+    total += eval.stage.records.size();
+  }
+  std::printf("stage attribution: cache %s, local %s, global %s of %llu "
+              "queries\n",
+              metrics::FormatPercent(static_cast<double>(cache) / total).c_str(),
+              metrics::FormatPercent(static_cast<double>(local) / total).c_str(),
+              metrics::FormatPercent(static_cast<double>(global) / total).c_str(),
+              static_cast<unsigned long long>(total));
+  return 0;
+}

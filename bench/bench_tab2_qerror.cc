@@ -1,0 +1,29 @@
+// Table 2: prediction accuracy in Q-error (max(pred/actual, actual/pred))
+// of the Stage predictor vs the AutoWLM predictor, bucketed by exec-time.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace stage;
+
+int main() {
+  const bench::SuiteConfig suite = bench::MakeSuiteConfig();
+  const global::GlobalModel global_model = bench::TrainGlobalModel(suite);
+  const auto evals = bench::RunSuite(suite, &global_model);
+  const bench::PooledSeries pooled = bench::PoolRecords(evals);
+
+  const auto stage_summary = metrics::SummarizeByBucket(
+      pooled.actual, metrics::QErrors(pooled.actual, pooled.stage_predicted));
+  const auto autowlm_summary = metrics::SummarizeByBucket(
+      pooled.actual,
+      metrics::QErrors(pooled.actual, pooled.autowlm_predicted));
+
+  std::printf("%s\n",
+              bench::RenderBucketTable(
+                  "=== Table 2: Q-error, Stage vs AutoWLM ===\n(paper "
+                  "shape: Stage wins clearly overall and below 60s; gains "
+                  "narrow for long-running queries)",
+                  "QE", "Stage", stage_summary, "AutoWLM", autowlm_summary)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Table 3: accuracy of the exec-time cache vs the AutoWLM predictor on the
+// queries that HIT the cache (the repeating subset).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "stage/metrics/report.h"
+
+using namespace stage;
+
+int main() {
+  const bench::SuiteConfig suite = bench::MakeSuiteConfig();
+  // The deployed configuration: cache + local, no global model.
+  const auto evals = bench::RunSuite(suite, nullptr);
+
+  std::vector<double> actual;
+  std::vector<double> cache_pred;
+  std::vector<double> autowlm_pred;
+  size_t total = 0;
+  for (const auto& eval : evals) {
+    total += eval.stage.records.size();
+    for (size_t i = 0; i < eval.stage.records.size(); ++i) {
+      if (eval.stage.records[i].source != core::PredictionSource::kCache) {
+        continue;
+      }
+      actual.push_back(eval.stage.records[i].actual_seconds);
+      cache_pred.push_back(eval.stage.records[i].predicted_seconds);
+      autowlm_pred.push_back(eval.autowlm.records[i].predicted_seconds);
+    }
+  }
+
+  std::printf("cache served %zu of %zu queries (%s; paper: 61.8%%)\n\n",
+              actual.size(), total,
+              metrics::FormatPercent(static_cast<double>(actual.size()) /
+                                     static_cast<double>(total))
+                  .c_str());
+  const auto cache_summary = metrics::SummarizeByBucket(
+      actual, metrics::AbsoluteErrors(actual, cache_pred));
+  const auto autowlm_summary = metrics::SummarizeByBucket(
+      actual, metrics::AbsoluteErrors(actual, autowlm_pred));
+  std::printf("%s\n",
+              bench::RenderBucketTable(
+                  "=== Table 3: exec-time cache vs AutoWLM on cache-hit "
+                  "queries ===\n(paper shape: the cache wins every bucket; "
+                  "a trained model cannot beat the memo of its own labels)",
+                  "AE", "Cache", cache_summary, "AutoWLM", autowlm_summary)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "stage/cache/exec_time_cache.h"
+
+#include "stage/common/macros.h"
+
+namespace stage::cache {
+
+ExecTimeCache::ExecTimeCache(const ExecTimeCacheConfig& config)
+    : config_(config) {
+  STAGE_CHECK(config.capacity > 0);
+  STAGE_CHECK(config.alpha >= 0.0 && config.alpha <= 1.0);
+}
+
+std::optional<double> ExecTimeCache::Predict(uint64_t key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  const Entry& entry = it->second;
+  switch (config_.prediction_mode) {
+    case CachePredictionMode::kMean:
+      return entry.stats.mean();
+    case CachePredictionMode::kMedian:
+      return entry.median.Value();
+    case CachePredictionMode::kLast:
+      return entry.last_exec_time;
+    case CachePredictionMode::kBlend:
+      break;
+  }
+  // mu * alpha + t_k * (1 - alpha): the running mean captures robustness to
+  // load variance, the last observation captures data freshness (§4.2).
+  return entry.stats.mean() * config_.alpha +
+         entry.last_exec_time * (1.0 - config_.alpha);
+}
+
+bool ExecTimeCache::Contains(uint64_t key) const {
+  return entries_.find(key) != entries_.end();
+}
+
+const ExecTimeCache::Entry* ExecTimeCache::Lookup(uint64_t key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void ExecTimeCache::Observe(uint64_t key, double exec_time, uint64_t tick) {
+  STAGE_CHECK(exec_time >= 0.0);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    by_update_time_.erase({it->second.last_update_tick, key});
+  } else {
+    if (entries_.size() >= config_.capacity) {
+      // Evict the entry whose most recent observation is oldest.
+      const auto victim = by_update_time_.begin();
+      entries_.erase(victim->second);
+      by_update_time_.erase(victim);
+      ++evictions_;
+    }
+    it = entries_.emplace(key, Entry{}).first;
+  }
+  Entry& entry = it->second;
+  entry.stats.Add(exec_time);
+  entry.median.Add(exec_time);
+  entry.last_exec_time = exec_time;
+  entry.last_update_tick = tick;
+  by_update_time_.emplace(std::make_pair(tick, key), key);
+}
+
+size_t ExecTimeCache::MemoryBytes() const {
+  // Hash-map node: key + Entry + bucket overhead; tree node: key pair +
+  // value + red-black overhead. Approximate with struct sizes + 2 pointers.
+  const size_t map_node =
+      sizeof(uint64_t) + sizeof(Entry) + 2 * sizeof(void*);
+  const size_t tree_node = sizeof(std::pair<std::pair<uint64_t, uint64_t>,
+                                            uint64_t>) +
+                           3 * sizeof(void*);
+  return entries_.size() * map_node + by_update_time_.size() * tree_node;
+}
+
+}  // namespace stage::cache

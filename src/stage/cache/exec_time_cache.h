@@ -1,0 +1,89 @@
+#ifndef STAGE_CACHE_EXEC_TIME_CACHE_H_
+#define STAGE_CACHE_EXEC_TIME_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "stage/common/p2_quantile.h"
+#include "stage/common/stats.h"
+
+namespace stage::cache {
+
+// How a cache entry's observation history is summarized into a prediction
+// (§4.2 notes the design freedom of computing "any summary statistic").
+enum class CachePredictionMode : uint8_t {
+  kBlend = 0,  // alpha * running_mean + (1 - alpha) * last (paper default).
+  kMean,       // Running mean only.
+  kMedian,     // Streaming median (P-square sketch): robust to spikes.
+  kLast,       // Most recent observation only (max freshness).
+};
+
+struct ExecTimeCacheConfig {
+  // Maximum number of unique queries kept (the paper uses 2,000; §5.1).
+  size_t capacity = 2000;
+  // Prediction blend: alpha * running_mean + (1 - alpha) * last_observed.
+  // alpha = 0.8 "works well for the Redshift fleet" (§4.2).
+  double alpha = 0.8;
+  CachePredictionMode prediction_mode = CachePredictionMode::kBlend;
+};
+
+// Stage 1 of the Stage predictor (§4.2): a memo of recently executed
+// queries. Keys are 64-bit hashes of the 33-dim flattened plan vector
+// (Optimization 1); values are Welford running mean/variance plus the most
+// recent exec-time (Optimization 2), so each entry stores O(1) values
+// instead of the full latency history. Eviction removes the entry whose
+// latest observation is oldest ("least updated", not least *used*).
+class ExecTimeCache {
+ public:
+  explicit ExecTimeCache(const ExecTimeCacheConfig& config);
+
+  // Cached per-query statistics.
+  struct Entry {
+    Welford stats;
+    P2Quantile median;  // Streaming median sketch (kMedian mode).
+    double last_exec_time = 0.0;
+    uint64_t last_update_tick = 0;
+  };
+
+  // Predicted exec-time for a key, or nullopt on a miss. Updates the
+  // hit/miss counters.
+  std::optional<double> Predict(uint64_t key);
+
+  // True if the key is cached (no counter side effects); used by the local
+  // model's training-pool deduplication (§4.3).
+  bool Contains(uint64_t key) const;
+
+  // Read-only view of an entry, or nullptr on a miss.
+  const Entry* Lookup(uint64_t key) const;
+
+  // Records an observed execution. `tick` is a monotonically non-decreasing
+  // logical timestamp (e.g. the query's completion time); it drives the
+  // eviction order. Evicts the least-recently-updated entry when a new key
+  // would exceed capacity.
+  void Observe(uint64_t key, double exec_time, uint64_t tick);
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return config_.capacity; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+  // Approximate resident size (Fig. 9 accounting).
+  size_t MemoryBytes() const;
+
+ private:
+  ExecTimeCacheConfig config_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  // Eviction index ordered by (last_update_tick, key); the begin() element
+  // is the least-recently-updated query.
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> by_update_time_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace stage::cache
+
+#endif  // STAGE_CACHE_EXEC_TIME_CACHE_H_

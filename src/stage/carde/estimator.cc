@@ -1,0 +1,39 @@
+#include "stage/carde/estimator.h"
+
+#include "stage/common/macros.h"
+
+namespace stage::carde {
+
+CardinalityEstimate OptimizerCardinalityEstimator::Estimate(
+    const plan::Plan& plan) {
+  STAGE_CHECK(!plan.empty());
+  CardinalityEstimate estimate;
+  estimate.rows = plan.node(plan.root()).estimated_cardinality;
+  estimate.inference_seconds = 0.0;  // Comes free with planning.
+  return estimate;
+}
+
+SamplingCardinalityEstimator::SamplingCardinalityEstimator(
+    const SamplingEstimatorConfig& config)
+    : config_(config), rng_(config.seed) {
+  STAGE_CHECK(config.relative_error_sigma >= 0.0);
+  STAGE_CHECK(config.seconds_per_scan > 0.0);
+}
+
+CardinalityEstimate SamplingCardinalityEstimator::Estimate(
+    const plan::Plan& plan) {
+  STAGE_CHECK(!plan.empty());
+  int scans = 0;
+  for (const plan::PlanNode& node : plan.nodes()) {
+    scans += plan::ReadsBaseTable(node.op) ? 1 : 0;
+  }
+  CardinalityEstimate estimate;
+  estimate.rows = plan.node(plan.root()).actual_cardinality *
+                  rng_.NextLogNormal(0.0, config_.relative_error_sigma);
+  estimate.log_std = config_.relative_error_sigma;
+  estimate.inference_seconds =
+      config_.seconds_per_scan * static_cast<double>(scans);
+  return estimate;
+}
+
+}  // namespace stage::carde

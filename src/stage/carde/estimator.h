@@ -1,0 +1,65 @@
+#ifndef STAGE_CARDE_ESTIMATOR_H_
+#define STAGE_CARDE_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "stage/common/rng.h"
+#include "stage/plan/plan.h"
+
+namespace stage::carde {
+
+// §6.2 of the paper proposes generalizing the Stage idea beyond exec-time
+// prediction: "a hierarchy of several cardinality estimators with
+// different accuracy/overhead trade-offs could enable practical
+// integration of ML-based solutions". This module implements that
+// hierarchy against the same synthetic substrate: estimators predict a
+// plan's TRUE root output cardinality (plan.actual_cardinality), which
+// differs from the optimizer's estimate by the hidden estimation errors.
+
+struct CardinalityEstimate {
+  double rows = 0.0;
+  // Log-space standard deviation of the estimate when the estimator can
+  // quantify its own uncertainty; negative when unavailable.
+  double log_std = -1.0;
+  // Simulated inference cost of producing this estimate (seconds). The
+  // optimizer's estimate is free, a learned model costs microseconds, and
+  // a sampling pass costs milliseconds — the §6.2 trade-off axis.
+  double inference_seconds = 0.0;
+};
+
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+  virtual CardinalityEstimate Estimate(const plan::Plan& plan) = 0;
+};
+
+// Level 0: the traditional optimizer's estimate (independence assumptions
+// baked into the synthetic plans). Free, no uncertainty, and wrong by
+// exactly the hidden cardinality-error factors.
+class OptimizerCardinalityEstimator final : public CardinalityEstimator {
+ public:
+  CardinalityEstimate Estimate(const plan::Plan& plan) override;
+};
+
+// Level 2: a sampling-based estimator — accurate but expensive. Simulated
+// as the true cardinality perturbed by a small sampling error, at a
+// milliseconds-scale cost proportional to the number of scans.
+struct SamplingEstimatorConfig {
+  double relative_error_sigma = 0.1;   // Log-space sampling noise.
+  double seconds_per_scan = 5e-3;      // Cost of sampling one base table.
+  uint64_t seed = 11;
+};
+
+class SamplingCardinalityEstimator final : public CardinalityEstimator {
+ public:
+  explicit SamplingCardinalityEstimator(const SamplingEstimatorConfig& config);
+  CardinalityEstimate Estimate(const plan::Plan& plan) override;
+
+ private:
+  SamplingEstimatorConfig config_;
+  Rng rng_;
+};
+
+}  // namespace stage::carde
+
+#endif  // STAGE_CARDE_ESTIMATOR_H_

@@ -1,0 +1,69 @@
+#include "stage/carde/learned.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stage/common/macros.h"
+#include "stage/plan/featurizer.h"
+
+namespace stage::carde {
+
+LearnedCardinalityEstimator::LearnedCardinalityEstimator(
+    const LearnedCardinalityConfig& config)
+    : config_(config), data_(plan::kPlanFeatureDim) {}
+
+void LearnedCardinalityEstimator::Observe(const plan::Plan& plan,
+                                          double actual_rows) {
+  STAGE_CHECK(actual_rows >= 0.0);
+  const plan::PlanFeatures features = plan::FlattenPlan(plan);
+  data_.AddRow(features.data(), std::log1p(actual_rows));
+}
+
+void LearnedCardinalityEstimator::Train() {
+  if (data_.empty()) return;
+  ensemble_ = gbt::BayesianGbtEnsemble::Train(data_, config_.ensemble);
+  trained_ = true;
+}
+
+CardinalityEstimate LearnedCardinalityEstimator::Estimate(
+    const plan::Plan& plan) {
+  STAGE_CHECK(trained_);
+  const plan::PlanFeatures features = plan::FlattenPlan(plan);
+  const auto prediction = ensemble_.Predict(features.data());
+  CardinalityEstimate estimate;
+  estimate.rows =
+      std::max(0.0, std::expm1(std::clamp(prediction.mean, 0.0, 26.0)));
+  estimate.log_std =
+      std::sqrt(std::max(0.0, prediction.model_variance +
+                                  prediction.data_variance));
+  estimate.inference_seconds = config_.inference_seconds;
+  return estimate;
+}
+
+HierarchicalCardinalityEstimator::HierarchicalCardinalityEstimator(
+    const HierarchicalCardinalityConfig& config,
+    LearnedCardinalityEstimator* learned, CardinalityEstimator* expensive)
+    : config_(config), learned_(learned), expensive_(expensive) {
+  STAGE_CHECK(learned != nullptr);
+  STAGE_CHECK(expensive != nullptr);
+}
+
+CardinalityEstimate HierarchicalCardinalityEstimator::Estimate(
+    const plan::Plan& plan) {
+  if (!learned_->trained()) {
+    // Cold start: the optimizer's estimate is all we have for free.
+    return optimizer_.Estimate(plan);
+  }
+  CardinalityEstimate estimate = learned_->Estimate(plan);
+  if (estimate.log_std < config_.uncertainty_log_std_threshold) {
+    ++learned_served_;
+    return estimate;
+  }
+  ++escalations_;
+  CardinalityEstimate expensive = expensive_->Estimate(plan);
+  // The cheap attempt's cost was still paid.
+  expensive.inference_seconds += estimate.inference_seconds;
+  return expensive;
+}
+
+}  // namespace stage::carde

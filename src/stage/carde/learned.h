@@ -1,0 +1,75 @@
+#ifndef STAGE_CARDE_LEARNED_H_
+#define STAGE_CARDE_LEARNED_H_
+
+#include "stage/carde/estimator.h"
+#include "stage/gbt/dataset.h"
+#include "stage/gbt/ensemble.h"
+
+namespace stage::carde {
+
+// Level 1: a learned cardinality estimator with uncertainty — the same
+// Bayesian GBT ensemble recipe as the exec-time local model, trained on
+// (flattened plan vector -> observed true root cardinality) pairs
+// collected after queries execute.
+struct LearnedCardinalityConfig {
+  gbt::EnsembleConfig ensemble;
+  // Simulated deployment inference cost (the paper quotes ms-scale
+  // inference for learned cardinality estimators [20]; a GBT ensemble is
+  // at the cheap end of that range).
+  double inference_seconds = 5e-5;
+};
+
+class LearnedCardinalityEstimator final : public CardinalityEstimator {
+ public:
+  explicit LearnedCardinalityEstimator(const LearnedCardinalityConfig& config);
+
+  // Records a post-execution observation of a plan's true cardinality.
+  void Observe(const plan::Plan& plan, double actual_rows);
+
+  // (Re)trains on everything observed so far. No-op when empty.
+  void Train();
+
+  bool trained() const { return trained_; }
+
+  // Requires trained().
+  CardinalityEstimate Estimate(const plan::Plan& plan) override;
+
+ private:
+  LearnedCardinalityConfig config_;
+  gbt::Dataset data_;
+  gbt::BayesianGbtEnsemble ensemble_;
+  bool trained_ = false;
+};
+
+// The §6.2 hierarchy: try the cheap learned estimator first; when its
+// uncertainty exceeds the threshold, escalate to the expensive sampling
+// estimator (and to the optimizer estimate if nothing is trained yet).
+// Accounts the simulated inference cost of whatever path ran.
+struct HierarchicalCardinalityConfig {
+  double uncertainty_log_std_threshold = 0.8;
+};
+
+class HierarchicalCardinalityEstimator final : public CardinalityEstimator {
+ public:
+  // Both estimators are borrowed and must outlive this object.
+  HierarchicalCardinalityEstimator(const HierarchicalCardinalityConfig& config,
+                                   LearnedCardinalityEstimator* learned,
+                                   CardinalityEstimator* expensive);
+
+  CardinalityEstimate Estimate(const plan::Plan& plan) override;
+
+  uint64_t learned_served() const { return learned_served_; }
+  uint64_t escalations() const { return escalations_; }
+
+ private:
+  HierarchicalCardinalityConfig config_;
+  LearnedCardinalityEstimator* learned_;
+  CardinalityEstimator* expensive_;
+  OptimizerCardinalityEstimator optimizer_;
+  uint64_t learned_served_ = 0;
+  uint64_t escalations_ = 0;
+};
+
+}  // namespace stage::carde
+
+#endif  // STAGE_CARDE_LEARNED_H_

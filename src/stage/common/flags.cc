@@ -1,0 +1,59 @@
+#include "stage/common/flags.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace stage {
+
+bool Flags::Parse(int argc, const char* const* argv,
+                  const std::vector<std::string>& known, Flags* flags,
+                  std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags->positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const size_t eq = body.find('=');
+    const std::string name = eq == std::string::npos ? body : body.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "true" : body.substr(eq + 1);
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      if (error != nullptr) *error = "unknown flag: --" + name;
+      return false;
+    }
+    flags->values_[name] = value;
+  }
+  return true;
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::strtoll(it->second.c_str(),
+                                                       nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback
+                             : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second != "false" && it->second != "0";
+}
+
+}  // namespace stage

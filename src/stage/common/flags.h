@@ -1,0 +1,38 @@
+#ifndef STAGE_COMMON_FLAGS_H_
+#define STAGE_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace stage {
+
+// Minimal command-line parsing for the CLI tools: positional arguments
+// plus `--key=value` / `--switch` flags. Unknown flags are an error so
+// typos fail loudly.
+class Flags {
+ public:
+  // Parses argv. `known` lists every accepted flag name (without "--").
+  // Returns false (and fills *error) on unknown or malformed flags.
+  static bool Parse(int argc, const char* const* argv,
+                    const std::vector<std::string>& known, Flags* flags,
+                    std::string* error);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace stage
+
+#endif  // STAGE_COMMON_FLAGS_H_

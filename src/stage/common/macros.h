@@ -1,0 +1,37 @@
+#ifndef STAGE_COMMON_MACROS_H_
+#define STAGE_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant checking for library internals. STAGE_CHECK is always on (the
+// predictor sits on a simulated critical path, but correctness of the
+// reproduction matters more than the last few percent of speed); use
+// STAGE_DCHECK for hot-loop checks that should vanish in release builds.
+#define STAGE_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "STAGE_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define STAGE_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "STAGE_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define STAGE_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define STAGE_DCHECK(cond) STAGE_CHECK(cond)
+#endif
+
+#endif  // STAGE_COMMON_MACROS_H_

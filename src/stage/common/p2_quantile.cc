@@ -1,0 +1,90 @@
+#include "stage/common/p2_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stage/common/macros.h"
+
+namespace stage {
+
+P2Quantile::P2Quantile(double q) : quantile_(q) {
+  STAGE_CHECK(q > 0.0 && q < 1.0);
+  positions_ = {1, 2, 3, 4, 5};
+  desired_ = {1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0};
+  desired_increments_ = {0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
+}
+
+void P2Quantile::Add(double value) {
+  if (count_ < 5) {
+    heights_[count_++] = value;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+    }
+    return;
+  }
+  ++count_;
+
+  // Find the cell k containing the new observation and clamp extremes.
+  int k;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    k = 0;
+  } else if (value >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], value);
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && value >= heights_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += desired_increments_[i];
+
+  // Adjust the three interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double delta = desired_[i] - positions_[i];
+    const double step_up = positions_[i + 1] - positions_[i];
+    const double step_down = positions_[i - 1] - positions_[i];
+    if ((delta >= 1.0 && step_up > 1.0) || (delta <= -1.0 && step_down < -1.0)) {
+      const double direction = delta >= 0 ? 1.0 : -1.0;
+      // Piecewise-parabolic (P2) prediction of the new height.
+      const double p_prev = positions_[i - 1];
+      const double p_cur = positions_[i];
+      const double p_next = positions_[i + 1];
+      const double h_prev = heights_[i - 1];
+      const double h_cur = heights_[i];
+      const double h_next = heights_[i + 1];
+      double candidate =
+          h_cur + direction / (p_next - p_prev) *
+                      ((p_cur - p_prev + direction) * (h_next - h_cur) /
+                           (p_next - p_cur) +
+                       (p_next - p_cur - direction) * (h_cur - h_prev) /
+                           (p_cur - p_prev));
+      if (candidate <= h_prev || candidate >= h_next) {
+        // Parabolic step left the bracket: fall back to linear.
+        candidate = direction > 0
+                        ? h_cur + (h_next - h_cur) / (p_next - p_cur)
+                        : h_cur - (h_prev - h_cur) / (p_prev - p_cur);
+      }
+      heights_[i] = candidate;
+      positions_[i] += direction;
+    }
+  }
+}
+
+double P2Quantile::Value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact small-sample quantile over the buffered values.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + count_);
+    const double pos = quantile_ * static_cast<double>(count_ - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, count_ - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+  return heights_[2];
+}
+
+}  // namespace stage

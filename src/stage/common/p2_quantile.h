@@ -1,0 +1,41 @@
+#ifndef STAGE_COMMON_P2_QUANTILE_H_
+#define STAGE_COMMON_P2_QUANTILE_H_
+
+#include <array>
+#include <cstddef>
+
+namespace stage {
+
+// Streaming single-quantile estimator (Jain & Chlamtac's P-square
+// algorithm): tracks the q-quantile of a stream in O(1) space with five
+// markers and parabolic interpolation. The exec-time cache uses this to
+// offer median (or any quantile) predictions per cached query without
+// storing latency histories — the design freedom §4.2 calls out ("we can
+// compute any summary statistic we want from the history").
+class P2Quantile {
+ public:
+  // q in (0, 1); 0.5 tracks the median.
+  explicit P2Quantile(double q = 0.5);
+
+  void Add(double value);
+
+  // Current estimate. Exact for the first 5 observations; approximate
+  // (typically within a fraction of a percentile) afterwards. Returns 0
+  // when empty.
+  double Value() const;
+
+  size_t count() const { return count_; }
+
+ private:
+  double quantile_;
+  size_t count_ = 0;
+  // Marker heights, positions, and desired positions (5 markers).
+  std::array<double, 5> heights_{};
+  std::array<double, 5> positions_{};
+  std::array<double, 5> desired_{};
+  std::array<double, 5> desired_increments_{};
+};
+
+}  // namespace stage
+
+#endif  // STAGE_COMMON_P2_QUANTILE_H_

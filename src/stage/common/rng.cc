@@ -1,0 +1,145 @@
+#include "stage/common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "stage/common/macros.h"
+
+namespace stage {
+
+namespace {
+
+// SplitMix64, used to expand the single user seed into xoshiro state.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextBelow(uint64_t n) {
+  STAGE_CHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const uint64_t r = NextUint64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::NextUniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller: two uniforms -> two independent standard normals.
+  double u1 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double u2 = NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = radius * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+double Rng::NextLogNormal(double mu, double sigma) {
+  return std::exp(NextGaussian(mu, sigma));
+}
+
+double Rng::NextExponential(double rate) {
+  STAGE_CHECK(rate > 0.0);
+  double u = NextDouble();
+  while (u <= 1e-300) u = NextDouble();
+  return -std::log(u) / rate;
+}
+
+int Rng::NextPoisson(double lambda) {
+  STAGE_CHECK(lambda >= 0.0);
+  if (lambda == 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth's method.
+    const double limit = std::exp(-lambda);
+    double product = NextDouble();
+    int count = 0;
+    while (product > limit) {
+      ++count;
+      product *= NextDouble();
+    }
+    return count;
+  }
+  // Normal approximation for large lambda.
+  const double value = NextGaussian(lambda, std::sqrt(lambda));
+  return value < 0.0 ? 0 : static_cast<int>(value + 0.5);
+}
+
+bool Rng::NextBernoulli(double p) { return NextDouble() < p; }
+
+size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  STAGE_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    STAGE_CHECK(w >= 0.0);
+    total += w;
+  }
+  STAGE_CHECK(total > 0.0);
+  double target = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // Floating-point slack: fall back to the last.
+}
+
+double Rng::NextPareto(double x_m, double alpha) {
+  STAGE_CHECK(x_m > 0.0 && alpha > 0.0);
+  double u = NextDouble();
+  while (u <= 1e-300) u = NextDouble();
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> indices(n);
+  for (size_t i = 0; i < n; ++i) indices[i] = i;
+  for (size_t i = n; i > 1; --i) {
+    const size_t j = NextBelow(i);
+    std::swap(indices[i - 1], indices[j]);
+  }
+  return indices;
+}
+
+}  // namespace stage

@@ -1,0 +1,66 @@
+#ifndef STAGE_COMMON_RNG_H_
+#define STAGE_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stage {
+
+// Deterministic, fast pseudo-random number generator (xoshiro256++).
+// Every stochastic component in the library takes an explicit seed so that
+// experiments are exactly reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  // Uniform in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  // Standard normal via Box-Muller.
+  double NextGaussian();
+
+  // Gaussian with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev);
+
+  // Log-normal: exp(N(mu, sigma^2)).
+  double NextLogNormal(double mu, double sigma);
+
+  // Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  double NextExponential(double rate);
+
+  // Poisson-distributed count (Knuth for small lambda, normal approx above).
+  int NextPoisson(double lambda);
+
+  // True with probability p.
+  bool NextBernoulli(double p);
+
+  // Samples an index in [0, weights.size()) proportionally to weights.
+  // Requires a non-empty vector with non-negative weights summing > 0.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  // Pareto-distributed value with scale x_m > 0 and shape alpha > 0.
+  // Heavy-tailed; used for query latency ground truth.
+  double NextPareto(double x_m, double alpha);
+
+  // Fisher-Yates shuffle of indices [0, n).
+  std::vector<size_t> Permutation(size_t n);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace stage
+
+#endif  // STAGE_COMMON_RNG_H_

@@ -1,0 +1,17 @@
+#include "stage/common/serialize.h"
+
+namespace stage {
+
+void WriteHeader(std::ostream& out, uint32_t magic, uint32_t version) {
+  WritePod(out, magic);
+  WritePod(out, version);
+}
+
+bool ReadHeader(std::istream& in, uint32_t magic, uint32_t expected_version) {
+  uint32_t file_magic = 0;
+  uint32_t file_version = 0;
+  if (!ReadPod(in, &file_magic) || !ReadPod(in, &file_version)) return false;
+  return file_magic == magic && file_version == expected_version;
+}
+
+}  // namespace stage

@@ -1,0 +1,57 @@
+#ifndef STAGE_COMMON_STATS_H_
+#define STAGE_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace stage {
+
+// Numerically stable running mean/variance (Welford's algorithm, [58] in the
+// paper). The exec-time cache stores one of these per entry instead of the
+// full history of observed latencies (§4.2, Optimization 2).
+class Welford {
+ public:
+  Welford() = default;
+
+  // Incorporates one observation.
+  void Add(double value);
+
+  // Number of observations so far.
+  size_t count() const { return count_; }
+
+  // Mean of observations; 0 when empty.
+  double mean() const { return mean_; }
+
+  // Population variance (divides by n); 0 when fewer than 2 observations.
+  double variance() const;
+
+  // Sample variance (divides by n-1); 0 when fewer than 2 observations.
+  double sample_variance() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Returns the q-quantile (q in [0, 1]) of `values` using linear
+// interpolation between order statistics. Copies and sorts internally;
+// for repeated quantiles of one dataset prefer SortedQuantile.
+// Requires a non-empty input.
+double Quantile(const std::vector<double>& values, double q);
+
+// Quantile of an already ascending-sorted vector; no copy.
+double SortedQuantile(const std::vector<double>& sorted, double q);
+
+// Arithmetic mean. Requires a non-empty input.
+double Mean(const std::vector<double>& values);
+
+// Inverse CDF of the standard normal distribution (Acklam's rational
+// approximation, |relative error| < 1.15e-9). Requires p in (0, 1).
+// Used to turn the local model's (mean, variance) into the confidence
+// intervals Redshift's downstream tasks need (paper §2.1, §3).
+double NormalQuantile(double p);
+
+}  // namespace stage
+
+#endif  // STAGE_COMMON_STATS_H_

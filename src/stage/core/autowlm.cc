@@ -1,0 +1,59 @@
+#include "stage/core/autowlm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stage/common/macros.h"
+#include "stage/gbt/loss.h"
+
+namespace stage::core {
+
+AutoWlmPredictor::AutoWlmPredictor(const AutoWlmConfig& config)
+    : config_(config) {
+  STAGE_CHECK(config.pool_capacity > 0);
+  STAGE_CHECK(config.retrain_interval > 0);
+}
+
+Prediction AutoWlmPredictor::Predict(const QueryContext& query) {
+  Prediction out;
+  if (!trained_) {
+    out.seconds = kColdStartDefaultSeconds;
+    out.source = PredictionSource::kDefault;
+    return out;
+  }
+  const double raw = model_.PredictScalar(query.features.data());
+  out.seconds = config_.log_target
+                    ? std::max(0.0, std::expm1(std::clamp(raw, 0.0, 14.0)))
+                    : std::max(0.0, raw);
+  out.source = PredictionSource::kBaseline;
+  return out;
+}
+
+void AutoWlmPredictor::Observe(const QueryContext& query,
+                               double exec_seconds) {
+  STAGE_CHECK(exec_seconds >= 0.0);
+  pool_.emplace_back(query.features, exec_seconds);
+  if (pool_.size() > config_.pool_capacity) pool_.pop_front();
+  ++observed_since_train_;
+  MaybeRetrain();
+}
+
+void AutoWlmPredictor::MaybeRetrain() {
+  if (pool_.size() < config_.min_train_size) return;
+  if (trained_ && observed_since_train_ < config_.retrain_interval) return;
+
+  gbt::Dataset data(plan::kPlanFeatureDim);
+  data.Reserve(pool_.size());
+  for (const auto& [features, seconds] : pool_) {
+    const double label =
+        config_.log_target ? std::log1p(seconds) : seconds;
+    data.AddRow(features.data(), label);
+  }
+  const auto loss = gbt::MakeAbsoluteLoss();
+  model_ = gbt::GbdtModel::Train(data, *loss, config_.gbdt);
+  trained_ = true;
+  ++trainings_;
+  observed_since_train_ = 0;
+}
+
+}  // namespace stage::core

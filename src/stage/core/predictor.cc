@@ -1,0 +1,30 @@
+#include "stage/core/predictor.h"
+
+#include "stage/common/macros.h"
+
+namespace stage::core {
+
+QueryContext MakeQueryContext(const plan::Plan& plan, int concurrent_queries,
+                              uint64_t tick) {
+  QueryContext context;
+  context.plan = &plan;
+  context.features = plan::FlattenPlan(plan);
+  context.feature_hash = plan::HashFeatures(context.features);
+  context.concurrent_queries = concurrent_queries;
+  context.tick = tick;
+  return context;
+}
+
+std::string_view PredictionSourceName(PredictionSource source) {
+  switch (source) {
+    case PredictionSource::kCache: return "cache";
+    case PredictionSource::kLocal: return "local";
+    case PredictionSource::kGlobal: return "global";
+    case PredictionSource::kBaseline: return "baseline";
+    case PredictionSource::kDefault: return "default";
+  }
+  STAGE_CHECK_MSG(false, "invalid PredictionSource");
+  return "";
+}
+
+}  // namespace stage::core

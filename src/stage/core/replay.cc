@@ -1,0 +1,62 @@
+#include "stage/core/replay.h"
+
+namespace stage::core {
+
+std::vector<double> ReplayResult::Actuals() const {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const ReplayRecord& record : records) {
+    out.push_back(record.actual_seconds);
+  }
+  return out;
+}
+
+std::vector<double> ReplayResult::Predictions() const {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const ReplayRecord& record : records) {
+    out.push_back(record.predicted_seconds);
+  }
+  return out;
+}
+
+std::vector<double> ReplayResult::ActualsWhere(PredictionSource source) const {
+  std::vector<double> out;
+  for (const ReplayRecord& record : records) {
+    if (record.source == source) out.push_back(record.actual_seconds);
+  }
+  return out;
+}
+
+std::vector<double> ReplayResult::PredictionsWhere(
+    PredictionSource source) const {
+  std::vector<double> out;
+  for (const ReplayRecord& record : records) {
+    if (record.source == source) out.push_back(record.predicted_seconds);
+  }
+  return out;
+}
+
+ReplayResult ReplayTrace(const std::vector<fleet::QueryEvent>& trace,
+                         ExecTimePredictor& predictor) {
+  ReplayResult result;
+  result.records.reserve(trace.size());
+  for (const fleet::QueryEvent& event : trace) {
+    const QueryContext context =
+        MakeQueryContext(event.plan, event.concurrent_queries,
+                         static_cast<uint64_t>(event.arrival_ms));
+    const Prediction prediction = predictor.Predict(context);
+    predictor.Observe(context, event.exec_seconds);
+
+    ReplayRecord record;
+    record.actual_seconds = event.exec_seconds;
+    record.predicted_seconds = prediction.seconds;
+    record.source = prediction.source;
+    record.uncertainty_log_std = prediction.uncertainty_log_std;
+    record.kind = event.kind;
+    result.records.push_back(record);
+  }
+  return result;
+}
+
+}  // namespace stage::core

@@ -1,0 +1,39 @@
+#ifndef STAGE_CORE_REPLAY_H_
+#define STAGE_CORE_REPLAY_H_
+
+#include <vector>
+
+#include "stage/core/predictor.h"
+#include "stage/fleet/workload.h"
+
+namespace stage::core {
+
+// One replayed query: the prediction made before (simulated) execution and
+// the logged truth.
+struct ReplayRecord {
+  double actual_seconds = 0.0;
+  double predicted_seconds = 0.0;
+  PredictionSource source = PredictionSource::kDefault;
+  double uncertainty_log_std = -1.0;
+  fleet::QueryEvent::Kind kind = fleet::QueryEvent::Kind::kAdHoc;
+};
+
+struct ReplayResult {
+  std::vector<ReplayRecord> records;
+
+  std::vector<double> Actuals() const;
+  std::vector<double> Predictions() const;
+  // Subset selectors for the ablation tables.
+  std::vector<double> ActualsWhere(PredictionSource source) const;
+  std::vector<double> PredictionsWhere(PredictionSource source) const;
+};
+
+// Replays a trace in arrival order against a predictor, exactly as the
+// paper evaluates (§5.1): predict before execution, then reveal the logged
+// exec-time to the predictor.
+ReplayResult ReplayTrace(const std::vector<fleet::QueryEvent>& trace,
+                         ExecTimePredictor& predictor);
+
+}  // namespace stage::core
+
+#endif  // STAGE_CORE_REPLAY_H_

@@ -1,0 +1,104 @@
+#include "stage/core/stage_predictor.h"
+
+#include "stage/common/macros.h"
+
+namespace stage::core {
+
+StagePredictor::StagePredictor(const StagePredictorConfig& config,
+                               const global::GlobalModel* global_model,
+                               const fleet::InstanceConfig* instance)
+    : config_(config),
+      cache_(config.cache),
+      pool_(config.pool),
+      local_(config.local),
+      global_model_(global_model),
+      instance_(instance) {
+  STAGE_CHECK(config.retrain_interval > 0);
+}
+
+Prediction StagePredictor::Predict(const QueryContext& query) {
+  Prediction out;
+  const auto finish = [&](Prediction prediction) {
+    ++source_counts_[static_cast<int>(prediction.source)];
+    return prediction;
+  };
+
+  // Stage 1: exec-time cache.
+  if (const auto cached = cache_.Predict(query.feature_hash)) {
+    out.seconds = *cached;
+    out.source = PredictionSource::kCache;
+    return finish(out);
+  }
+
+  const bool global_available = config_.use_global &&
+                                global_model_ != nullptr &&
+                                global_model_->trained() &&
+                                instance_ != nullptr && query.plan != nullptr;
+
+  // Stage 2: instance-optimized local model.
+  if (local_.trained()) {
+    const local::LocalModel::Output local_out = local_.Predict(query.features);
+    out.seconds = local_out.exec_seconds;
+    out.uncertainty_log_std = local_out.log_std();
+    out.source = PredictionSource::kLocal;
+
+    const bool short_running =
+        local_out.exec_seconds < config_.short_running_seconds;
+    const bool confident =
+        local_out.log_std() < config_.uncertainty_log_std_threshold;
+    if (short_running || confident || !global_available) {
+      return finish(out);
+    }
+    // Stage 3: the local model is uncertain about a long-running query.
+    out.seconds = global_model_->PredictSeconds(*query.plan, *instance_,
+                                                query.concurrent_queries);
+    out.source = PredictionSource::kGlobal;
+    return finish(out);
+  }
+
+  // Cold start: no local model yet. The transferable global model covers
+  // new instances until enough local training data accumulates.
+  if (global_available) {
+    out.seconds = global_model_->PredictSeconds(*query.plan, *instance_,
+                                                query.concurrent_queries);
+    out.source = PredictionSource::kGlobal;
+    return finish(out);
+  }
+  out.seconds = kColdStartDefaultSeconds;
+  out.source = PredictionSource::kDefault;
+  return finish(out);
+}
+
+void StagePredictor::Observe(const QueryContext& query, double exec_seconds) {
+  STAGE_CHECK(exec_seconds >= 0.0);
+  // Pool deduplication via the cache (§4.3): repeats are the cache's job;
+  // only cache misses diversify the local model's training set.
+  const bool was_cached = cache_.Contains(query.feature_hash);
+  cache_.Observe(query.feature_hash, exec_seconds, query.tick);
+  if (!was_cached) {
+    pool_.Add(query.features, exec_seconds);
+    ++observed_since_train_;
+  }
+
+  const bool first_training =
+      !local_.trained() && pool_.size() >= config_.min_train_size;
+  const bool scheduled_training =
+      local_.trained() && observed_since_train_ >= config_.retrain_interval &&
+      pool_.size() >= config_.min_train_size;
+  if (first_training || scheduled_training) {
+    local_.Train(pool_);
+    observed_since_train_ = 0;
+  }
+}
+
+uint64_t StagePredictor::total_predictions() const {
+  uint64_t total = 0;
+  for (uint64_t count : source_counts_) total += count;
+  return total;
+}
+
+size_t StagePredictor::LocalMemoryBytes() const {
+  return cache_.MemoryBytes() + local_.MemoryBytes();
+}
+
+}  // namespace stage::core

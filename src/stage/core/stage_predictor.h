@@ -1,0 +1,81 @@
+#ifndef STAGE_CORE_STAGE_PREDICTOR_H_
+#define STAGE_CORE_STAGE_PREDICTOR_H_
+
+#include <array>
+#include <cstdint>
+
+#include "stage/cache/exec_time_cache.h"
+#include "stage/core/predictor.h"
+#include "stage/fleet/instance.h"
+#include "stage/global/global_model.h"
+#include "stage/local/local_model.h"
+#include "stage/local/training_pool.h"
+
+namespace stage::core {
+
+// All knobs of the hierarchical Stage predictor (§4).
+struct StagePredictorConfig {
+  cache::ExecTimeCacheConfig cache;
+  local::TrainingPoolConfig pool;
+  local::LocalModelConfig local;
+
+  // Local-model (re)training cadence.
+  size_t retrain_interval = 400;
+  size_t min_train_size = 30;
+
+  // Routing (§4.1): return the local prediction when it says the query is
+  // short-running OR when it is confident; otherwise escalate to the
+  // global model. The uncertainty threshold is on the log-space standard
+  // deviation (a multiplicative error bar: 1.0 ~= within ~2.7x).
+  double short_running_seconds = 5.0;
+  double uncertainty_log_std_threshold = 1.0;
+
+  // Ablation switch: never consult the global model even if provided.
+  bool use_global = true;
+};
+
+// The Stage predictor (§4): exec-time cache -> local Bayesian-ensemble
+// model -> fleet-trained global GCN. The global model and the instance
+// description (needed for its system features) are optional: with either
+// absent the predictor degrades to cache + local, which is the
+// configuration Redshift actually deployed (§5.2).
+class StagePredictor final : public ExecTimePredictor {
+ public:
+  // `global_model` and `instance` may be null; both are borrowed and must
+  // outlive the predictor.
+  StagePredictor(const StagePredictorConfig& config,
+                 const global::GlobalModel* global_model,
+                 const fleet::InstanceConfig* instance);
+
+  Prediction Predict(const QueryContext& query) override;
+  void Observe(const QueryContext& query, double exec_seconds) override;
+  std::string_view name() const override { return "Stage"; }
+
+  // Attribution counters: how many predictions each stage served.
+  uint64_t predictions_from(PredictionSource source) const {
+    return source_counts_[static_cast<int>(source)];
+  }
+  uint64_t total_predictions() const;
+
+  const cache::ExecTimeCache& exec_time_cache() const { return cache_; }
+  const local::TrainingPool& training_pool() const { return pool_; }
+  const local::LocalModel& local_model() const { return local_; }
+
+  // Memory footprint of the locally resident components (the paper excludes
+  // the global model, which deploys as a shared serverless function).
+  size_t LocalMemoryBytes() const;
+
+ private:
+  StagePredictorConfig config_;
+  cache::ExecTimeCache cache_;
+  local::TrainingPool pool_;
+  local::LocalModel local_;
+  const global::GlobalModel* global_model_;  // Borrowed, nullable.
+  const fleet::InstanceConfig* instance_;    // Borrowed, nullable.
+  size_t observed_since_train_ = 0;
+  std::array<uint64_t, 5> source_counts_{};
+};
+
+}  // namespace stage::core
+
+#endif  // STAGE_CORE_STAGE_PREDICTOR_H_

@@ -1,0 +1,105 @@
+#include "stage/fleet/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stage/common/macros.h"
+#include "stage/common/rng.h"
+
+namespace stage::fleet {
+
+FleetGenerator::FleetGenerator(const FleetConfig& config) : config_(config) {
+  STAGE_CHECK(config.num_instances > 0);
+  STAGE_CHECK(config.min_tables >= 1 &&
+              config.max_tables >= config.min_tables);
+}
+
+InstanceConfig FleetGenerator::MakeInstance(int32_t instance_id) {
+  // Derive a per-instance RNG so instances are independent of each other
+  // and stable under changes to num_instances.
+  Rng rng(config_.seed * 0x9e3779b97f4a7c15ULL +
+          static_cast<uint64_t>(instance_id) + 1);
+
+  InstanceConfig instance;
+  instance.instance_id = instance_id;
+  instance.node_type = static_cast<NodeType>(
+      rng.NextBelow(static_cast<uint64_t>(NodeType::kNumNodeTypes)));
+  // Cluster sizes skew small: 2-4 nodes are common, 32 is rare.
+  const int size_class = static_cast<int>(rng.NextWeighted(
+      {0.35, 0.3, 0.2, 0.1, 0.05}));
+  constexpr int kSizes[] = {2, 4, 8, 16, 32};
+  instance.num_nodes = kSizes[size_class];
+  instance.memory_gb =
+      NodeTypeMemoryGb(instance.node_type) * instance.num_nodes;
+
+  // Schema: bigger customers tend to hold bigger tables (per-instance data
+  // scale shifts the whole size distribution).
+  const int num_tables = config_.min_tables +
+                         static_cast<int>(rng.NextBelow(static_cast<uint64_t>(
+                             config_.max_tables - config_.min_tables + 1)));
+  const double data_scale = rng.NextGaussian(0.0, 1.0);
+  instance.schema.reserve(num_tables);
+  for (int t = 0; t < num_tables; ++t) {
+    plan::TableDef table;
+    table.id = t;
+    table.rows = std::clamp(
+        std::exp(rng.NextGaussian(config_.log_rows_mean + data_scale,
+                                  config_.log_rows_sigma)),
+        1e3, config_.max_table_rows);
+    table.width = std::clamp(std::exp(rng.NextGaussian(std::log(80.0), 0.7)),
+                             16.0, 1000.0);
+    if (rng.NextBernoulli(config_.s3_table_fraction)) {
+      constexpr plan::S3Format kExternal[] = {plan::S3Format::kParquet,
+                                              plan::S3Format::kOpenCsv,
+                                              plan::S3Format::kText};
+      table.format = kExternal[rng.NextBelow(3)];
+    } else {
+      table.format = plan::S3Format::kLocal;
+    }
+    instance.schema.push_back(table);
+  }
+
+  instance.latent_speed_factor =
+      rng.NextLogNormal(0.0, config_.latent_speed_sigma);
+  instance.noise_sigma = rng.NextUniform(0.12, 0.35);
+  instance.spike_probability = rng.NextUniform(0.005, 0.04);
+  instance.average_load = rng.NextUniform(0.5, 6.0);
+  instance.daily_data_growth =
+      rng.NextBernoulli(config_.data_growth_probability)
+          ? rng.NextUniform(0.002, config_.max_daily_growth)
+          : 0.0;
+  return instance;
+}
+
+InstanceTrace FleetGenerator::MakeInstanceTrace(int32_t instance_id) {
+  InstanceTrace out;
+  out.config = MakeInstance(instance_id);
+
+  Rng rng(config_.seed * 0x2545f4914f6cdd1dULL +
+          static_cast<uint64_t>(instance_id) + 17);
+  out.workload = config_.workload;
+  const double unique_fraction =
+      std::clamp(rng.NextGaussian(config_.unique_fraction_mean,
+                                  config_.unique_fraction_sigma),
+                 config_.unique_fraction_min, config_.unique_fraction_max);
+  out.workload.repeat_fraction = 1.0 - unique_fraction;
+  // Half of the unique queries are parameter variants of known templates,
+  // half are genuinely ad-hoc.
+  out.workload.variant_fraction = unique_fraction * 0.5;
+
+  WorkloadGenerator generator(out.config, config_.generator, out.workload,
+                              rng.NextUint64());
+  out.trace = generator.GenerateTrace();
+  return out;
+}
+
+std::vector<InstanceTrace> FleetGenerator::GenerateFleet() {
+  std::vector<InstanceTrace> fleet;
+  fleet.reserve(config_.num_instances);
+  for (int32_t id = 0; id < config_.num_instances; ++id) {
+    fleet.push_back(MakeInstanceTrace(id));
+  }
+  return fleet;
+}
+
+}  // namespace stage::fleet

@@ -1,0 +1,73 @@
+#ifndef STAGE_FLEET_FLEET_H_
+#define STAGE_FLEET_FLEET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stage/fleet/instance.h"
+#include "stage/fleet/workload.h"
+
+namespace stage::fleet {
+
+// Knobs for generating a synthetic Redshift fleet: a population of
+// customer instances with diverse hardware, schemas, workload mixes, and
+// repetition rates (substituting for the paper's production query logs).
+struct FleetConfig {
+  int num_instances = 20;
+  uint64_t seed = 42;
+  WorkloadConfig workload;            // Base workload shape.
+  plan::GeneratorConfig generator;    // Plan-shape knobs.
+
+  // Per-instance fraction of daily-unique queries is drawn from a clipped
+  // normal; Fig. 1a's fleet shows a wide spread with ~40% unique on
+  // average.
+  double unique_fraction_mean = 0.4;
+  double unique_fraction_sigma = 0.22;
+  double unique_fraction_min = 0.02;
+  double unique_fraction_max = 0.95;
+
+  // Schema diversity.
+  int min_tables = 8;
+  int max_tables = 60;
+  double log_rows_mean = 14.5;   // ln(median table rows) ~ 2e6.
+  double log_rows_sigma = 2.1;
+  double max_table_rows = 1e10;
+  double s3_table_fraction = 0.12;
+
+  // Hidden-parameter diversity.
+  double latent_speed_sigma = 0.7;
+  double data_growth_probability = 0.3;
+  double max_daily_growth = 0.03;
+};
+
+// One generated instance with its full query trace.
+struct InstanceTrace {
+  InstanceConfig config;
+  WorkloadConfig workload;
+  std::vector<QueryEvent> trace;
+};
+
+// Generates the synthetic fleet.
+class FleetGenerator {
+ public:
+  explicit FleetGenerator(const FleetConfig& config);
+
+  // A random instance (hardware + schema + hidden dynamics). Deterministic
+  // in (config.seed, instance_id).
+  InstanceConfig MakeInstance(int32_t instance_id);
+
+  // An instance plus its generated query trace.
+  InstanceTrace MakeInstanceTrace(int32_t instance_id);
+
+  // num_instances instances with ids [0, n).
+  std::vector<InstanceTrace> GenerateFleet();
+
+  const FleetConfig& config() const { return config_; }
+
+ private:
+  FleetConfig config_;
+};
+
+}  // namespace stage::fleet
+
+#endif  // STAGE_FLEET_FLEET_H_

@@ -1,0 +1,178 @@
+#include "stage/fleet/ground_truth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stage/common/macros.h"
+
+namespace stage::fleet {
+
+namespace {
+
+using plan::OperatorType;
+
+// Fleet-wide per-row work coefficients (abstract work units per row). These
+// are the transferable "physics" of the simulated engine.
+constexpr double kScanLocalPerTableRow = 3.0e-7;
+constexpr double kScanS3PerTableRow = 1.5e-6;
+constexpr double kScanPerOutputRow = 1.0e-6;
+constexpr double kHashPerRow = 1.75e-6;
+constexpr double kJoinPerRow = 1.5e-6;
+constexpr double kDistJoinFactor = 1.4;
+constexpr double kNetworkPerRow = 1.25e-6;
+constexpr double kBroadcastPerRow = 3.0e-6;
+constexpr double kReturnPerRow = 6.0e-6;
+constexpr double kAggPerRow = 1.6e-6;
+constexpr double kSortPerRowLog = 1.25e-7;
+constexpr double kWindowPerRow = 2.75e-6;
+constexpr double kDmlPerRow = 1.0e-5;
+constexpr double kMaterializePerRow = 2.25e-6;
+constexpr double kDefaultPerRow = 5.0e-7;
+
+// Fixed per-query overhead (parse/compile/leader work), seconds.
+constexpr double kQueryOverheadSeconds = 0.015;
+// Concurrency inflation per concurrently running query.
+constexpr double kLoadFactorPerQuery = 0.12;
+// Cluster scaling exponent: doubling nodes does not halve latency.
+constexpr double kNodeScalingExponent = 0.75;
+// Memory-spill inflation when the largest hash build outgrows its share of
+// cluster memory.
+constexpr double kSpillFactor = 2.2;
+
+double SumChildActualRows(const plan::Plan& plan, int32_t index) {
+  double total = 0.0;
+  for (int32_t child : plan.node(index).children) {
+    total += plan.node(child).actual_cardinality;
+  }
+  return total;
+}
+
+}  // namespace
+
+double GroundTruthModel::NodeWork(const plan::Plan& plan, int32_t index,
+                                  double actual_row_scale) const {
+  const plan::PlanNode& node = plan.node(index);
+  const double out = std::max(0.0, node.actual_cardinality);
+  const double in = SumChildActualRows(plan, index);
+  // Wider tuples cost more to move and materialize.
+  const double width_factor = 1.0 + node.tuple_width / 400.0;
+
+  switch (node.op) {
+    case OperatorType::kSeqScanLocal:
+    case OperatorType::kIndexScan:
+      return (node.table_rows * actual_row_scale * kScanLocalPerTableRow +
+              out * kScanPerOutputRow) *
+             width_factor;
+    case OperatorType::kSeqScanS3: {
+      // External-format parsing costs differ sharply by format. The
+      // optimizer's cost estimate does NOT model this (so the 33-dim
+      // vector cannot see it), but the node-level format one-hot does —
+      // one of the signals only the global model can learn.
+      double format_factor = 1.0;
+      switch (node.s3_format) {
+        case plan::S3Format::kParquet: format_factor = 1.0; break;
+        case plan::S3Format::kOpenCsv: format_factor = 2.5; break;
+        case plan::S3Format::kText: format_factor = 4.0; break;
+        default: break;
+      }
+      return (node.table_rows * actual_row_scale * kScanS3PerTableRow *
+                  format_factor +
+              out * kScanPerOutputRow) *
+             width_factor;
+    }
+    case OperatorType::kHash:
+      return in * kHashPerRow * width_factor;
+    case OperatorType::kHashJoinLocal:
+      return in * kJoinPerRow * width_factor;
+    case OperatorType::kHashJoinDist:
+      return in * kJoinPerRow * kDistJoinFactor * width_factor;
+    case OperatorType::kMergeJoin:
+      return in * kJoinPerRow * 0.8 * width_factor;
+    case OperatorType::kNestedLoopJoin:
+      return in * kJoinPerRow * 4.0 * width_factor;
+    case OperatorType::kNetworkDistribute:
+      return in * kNetworkPerRow * width_factor;
+    case OperatorType::kNetworkBroadcast:
+      return in * kBroadcastPerRow * width_factor;
+    case OperatorType::kNetworkReturn:
+      return out * kReturnPerRow * width_factor;
+    case OperatorType::kAggregate:
+    case OperatorType::kHashAggregate:
+    case OperatorType::kGroupAggregate:
+      return in * kAggPerRow * width_factor;
+    case OperatorType::kSort:
+    case OperatorType::kTopSort:
+      return in * std::log2(in + 2.0) * kSortPerRowLog * width_factor;
+    case OperatorType::kWindow:
+      return in * kWindowPerRow * width_factor;
+    case OperatorType::kMaterialize:
+      return in * kMaterializePerRow * width_factor;
+    case OperatorType::kInsert:
+    case OperatorType::kDelete:
+    case OperatorType::kUpdate:
+    case OperatorType::kCopy:
+      return in * kDmlPerRow * width_factor;
+    default:
+      return (in + out) * kDefaultPerRow * width_factor;
+  }
+}
+
+double GroundTruthModel::ExpectedExecSeconds(const plan::Plan& plan,
+                                             const InstanceConfig& instance,
+                                             int concurrent_queries,
+                                             double actual_row_scale) const {
+  STAGE_CHECK(!plan.empty());
+  STAGE_CHECK(concurrent_queries >= 0);
+
+  double work = 0.0;
+  double largest_build_bytes = 0.0;
+  for (int32_t i = 0; i < plan.node_count(); ++i) {
+    work += NodeWork(plan, i, actual_row_scale);
+    const plan::PlanNode& node = plan.node(i);
+    if (node.op == OperatorType::kHash) {
+      largest_build_bytes =
+          std::max(largest_build_bytes,
+                   node.actual_cardinality * std::max(node.tuple_width, 8.0));
+    }
+  }
+
+  const double throughput =
+      NodeTypeSpeed(instance.node_type) *
+      std::pow(static_cast<double>(instance.num_nodes),
+               kNodeScalingExponent) *
+      instance.latent_speed_factor;
+  STAGE_CHECK(throughput > 0.0);
+
+  double seconds = kQueryOverheadSeconds + work / throughput;
+  seconds *= 1.0 + kLoadFactorPerQuery * concurrent_queries;
+
+  // Hash builds that outgrow a slice's memory share spill to disk; the
+  // penalty grows smoothly with the overflow ratio. The trigger depends on
+  // the per-node build size and the cluster memory — node-level and
+  // system-level information the flattened vector blurs away.
+  const double memory_budget_bytes =
+      instance.memory_gb * 1e9 * 0.25;  // Working-memory fraction.
+  if (largest_build_bytes > memory_budget_bytes) {
+    const double overflow = largest_build_bytes / memory_budget_bytes;
+    seconds *= 1.0 + (kSpillFactor - 1.0) * std::min(overflow, 3.0) / 3.0 +
+               (kSpillFactor - 1.0);
+  }
+  return seconds;
+}
+
+double GroundTruthModel::SampleExecSeconds(const plan::Plan& plan,
+                                           const InstanceConfig& instance,
+                                           int concurrent_queries,
+                                           double actual_row_scale,
+                                           Rng& rng) const {
+  double seconds = ExpectedExecSeconds(plan, instance, concurrent_queries,
+                                       actual_row_scale);
+  seconds *= rng.NextLogNormal(0.0, instance.noise_sigma);
+  if (rng.NextBernoulli(instance.spike_probability)) {
+    // Transient slowdowns: cold storage, vacuum, commit queue, ...
+    seconds *= rng.NextUniform(2.0, 6.0);
+  }
+  return seconds;
+}
+
+}  // namespace stage::fleet

@@ -1,0 +1,48 @@
+#ifndef STAGE_FLEET_GROUND_TRUTH_H_
+#define STAGE_FLEET_GROUND_TRUTH_H_
+
+#include "stage/common/rng.h"
+#include "stage/fleet/instance.h"
+#include "stage/plan/plan.h"
+
+namespace stage::fleet {
+
+// The hidden data-generating process for query execution times. Plays the
+// role of the real Redshift executor: per-operator work terms over the
+// ACTUAL cardinalities (not the optimizer's estimates), divided by cluster
+// throughput, inflated by concurrency, memory spill, and run-to-run noise.
+//
+// The per-operator work coefficients are FLEET-WIDE constants — the
+// transferable physics a global model can learn — while each instance
+// contributes an unobservable latent speed factor and its own noise, the
+// part no amount of cross-customer data can resolve (§5.4's "nearly
+// identical plans with drastically different performance").
+class GroundTruthModel {
+ public:
+  GroundTruthModel() = default;
+
+  // Deterministic expected execution time (seconds) for the plan on this
+  // instance, before noise. `concurrent_queries` is the number of other
+  // queries running; `actual_row_scale` is the data-drift factor used when
+  // the plan was instantiated.
+  double ExpectedExecSeconds(const plan::Plan& plan,
+                             const InstanceConfig& instance,
+                             int concurrent_queries,
+                             double actual_row_scale = 1.0) const;
+
+  // Full sampled execution time: expected time with log-normal noise and
+  // occasional spikes drawn from `rng`.
+  double SampleExecSeconds(const plan::Plan& plan,
+                           const InstanceConfig& instance,
+                           int concurrent_queries, double actual_row_scale,
+                           Rng& rng) const;
+
+ private:
+  // Work contributed by one operator node (abstract work units).
+  double NodeWork(const plan::Plan& plan, int32_t index,
+                  double actual_row_scale) const;
+};
+
+}  // namespace stage::fleet
+
+#endif  // STAGE_FLEET_GROUND_TRUTH_H_

@@ -1,0 +1,49 @@
+#include "stage/fleet/instance.h"
+
+#include "stage/common/macros.h"
+
+namespace stage::fleet {
+
+std::string_view NodeTypeName(NodeType type) {
+  switch (type) {
+    case NodeType::kDc2Large: return "dc2.large";
+    case NodeType::kDc2XLarge: return "dc2.8xlarge";
+    case NodeType::kRa3XlPlus: return "ra3.xlplus";
+    case NodeType::kRa3_4XLarge: return "ra3.4xlarge";
+    case NodeType::kRa3_16XLarge: return "ra3.16xlarge";
+    case NodeType::kServerless: return "serverless";
+    case NodeType::kNumNodeTypes: break;
+  }
+  STAGE_CHECK_MSG(false, "invalid NodeType");
+  return "";
+}
+
+double NodeTypeSpeed(NodeType type) {
+  switch (type) {
+    case NodeType::kDc2Large: return 1.0;
+    case NodeType::kDc2XLarge: return 6.0;
+    case NodeType::kRa3XlPlus: return 2.5;
+    case NodeType::kRa3_4XLarge: return 5.0;
+    case NodeType::kRa3_16XLarge: return 16.0;
+    case NodeType::kServerless: return 4.0;
+    case NodeType::kNumNodeTypes: break;
+  }
+  STAGE_CHECK_MSG(false, "invalid NodeType");
+  return 1.0;
+}
+
+double NodeTypeMemoryGb(NodeType type) {
+  switch (type) {
+    case NodeType::kDc2Large: return 15.0;
+    case NodeType::kDc2XLarge: return 244.0;
+    case NodeType::kRa3XlPlus: return 32.0;
+    case NodeType::kRa3_4XLarge: return 96.0;
+    case NodeType::kRa3_16XLarge: return 384.0;
+    case NodeType::kServerless: return 128.0;
+    case NodeType::kNumNodeTypes: break;
+  }
+  STAGE_CHECK_MSG(false, "invalid NodeType");
+  return 0.0;
+}
+
+}  // namespace stage::fleet

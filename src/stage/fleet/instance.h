@@ -1,0 +1,58 @@
+#ifndef STAGE_FLEET_INSTANCE_H_
+#define STAGE_FLEET_INSTANCE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "stage/plan/generator.h"
+
+namespace stage::fleet {
+
+// Redshift-like node types with relative per-node throughput.
+enum class NodeType : uint8_t {
+  kDc2Large = 0,
+  kDc2XLarge,
+  kRa3XlPlus,
+  kRa3_4XLarge,
+  kRa3_16XLarge,
+  kServerless,
+  kNumNodeTypes,
+};
+
+std::string_view NodeTypeName(NodeType type);
+
+// Relative compute throughput of one node of this type (dc2.large = 1).
+double NodeTypeSpeed(NodeType type);
+
+// Memory per node in GB.
+double NodeTypeMemoryGb(NodeType type);
+
+// One customer's cluster. The observable part (type, node count, memory)
+// feeds the global model's system feature vector (§4.4); the hidden part
+// parameterizes the ground-truth latency model and is never exposed to any
+// predictor — it models the "latent information hidden in each database
+// instance" the paper blames for the global model's regressions (§5.4).
+struct InstanceConfig {
+  int32_t instance_id = 0;
+  NodeType node_type = NodeType::kRa3_4XLarge;
+  int num_nodes = 2;
+  double memory_gb = 64.0;  // Total cluster memory.
+  std::vector<plan::TableDef> schema;
+
+  // ---- Hidden ground-truth parameters (predictors must not read) ----
+  // Unobservable speed multiplier (tuning, data layout, skew, ...).
+  double latent_speed_factor = 1.0;
+  // Log-space std-dev of run-to-run execution noise.
+  double noise_sigma = 0.2;
+  // Probability a query hits a transient slowdown (cold cache, vacuum, ...).
+  double spike_probability = 0.02;
+  // Mean number of concurrently running queries (drives load inflation).
+  double average_load = 2.0;
+  // Daily relative growth of table data with stale statistics.
+  double daily_data_growth = 0.0;
+};
+
+}  // namespace stage::fleet
+
+#endif  // STAGE_FLEET_INSTANCE_H_

@@ -1,0 +1,78 @@
+#ifndef STAGE_FLEET_WORKLOAD_H_
+#define STAGE_FLEET_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stage/fleet/ground_truth.h"
+#include "stage/fleet/instance.h"
+#include "stage/plan/generator.h"
+
+namespace stage::fleet {
+
+// One logged query execution: everything the paper's replay evaluation has
+// access to. `exec_seconds` is the time the query actually took when the
+// customer ran it; the workload-manager simulation replays these (§5.2).
+struct QueryEvent {
+  enum class Kind : uint8_t {
+    kRepeat = 0,     // Exact re-execution of a template (same SQL + params).
+    kParamVariant,   // Same template, different literal values.
+    kAdHoc,          // Fresh one-off query.
+  };
+
+  int64_t arrival_ms = 0;  // Milliseconds since trace start.
+  plan::Plan plan;
+  double exec_seconds = 0.0;
+  // Number of other queries running when this one executed; part of the
+  // global model's system feature vector.
+  int concurrent_queries = 0;
+  uint64_t template_id = 0;  // 0 for ad-hoc queries.
+  Kind kind = Kind::kAdHoc;
+};
+
+// Shape of one instance's query stream.
+struct WorkloadConfig {
+  int num_queries = 3000;
+  int num_templates = 250;
+  // Fraction of queries that exactly repeat a template (dashboards and
+  // reports; Fig. 1a shows a fleet median around 60%).
+  double repeat_fraction = 0.6;
+  // Fraction that are parameter variants of a template.
+  double variant_fraction = 0.2;
+  // Zipf exponent for template popularity.
+  double zipf_s = 1.1;
+  // Templates are generated in clusters around structural archetypes
+  // (dashboards differing in one predicate): every group of this many
+  // templates shares an archetype, giving near-identical flattened
+  // vectors with genuinely different runtime behavior.
+  int templates_per_archetype = 6;
+  int days = 14;
+  double param_jitter_sigma = 0.5;
+};
+
+// Generates a query trace for one instance: a pool of recurring templates
+// with Zipfian popularity plus ad-hoc queries, arrivals spread over
+// `days` with a diurnal pattern, and execution times sampled from the
+// hidden ground-truth model under per-query load and data drift.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const InstanceConfig& instance,
+                    const plan::GeneratorConfig& generator_config,
+                    const WorkloadConfig& workload_config, uint64_t seed);
+
+  // Generates the full trace, sorted by arrival time.
+  std::vector<QueryEvent> GenerateTrace();
+
+  const plan::PlanGenerator& plan_generator() const { return generator_; }
+
+ private:
+  const InstanceConfig& instance_;
+  WorkloadConfig config_;
+  plan::PlanGenerator generator_;
+  GroundTruthModel ground_truth_;
+  Rng rng_;
+};
+
+}  // namespace stage::fleet
+
+#endif  // STAGE_FLEET_WORKLOAD_H_

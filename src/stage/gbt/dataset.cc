@@ -1,0 +1,26 @@
+#include "stage/gbt/dataset.h"
+
+#include "stage/common/macros.h"
+
+namespace stage::gbt {
+
+Dataset::Dataset(int num_features) : num_features_(num_features) {
+  STAGE_CHECK(num_features > 0);
+}
+
+void Dataset::AddRow(const float* row, double label) {
+  features_.insert(features_.end(), row, row + num_features_);
+  labels_.push_back(label);
+}
+
+void Dataset::AddRow(const std::vector<float>& row, double label) {
+  STAGE_CHECK(static_cast<int>(row.size()) == num_features_);
+  AddRow(row.data(), label);
+}
+
+void Dataset::Reserve(size_t rows) {
+  features_.reserve(rows * static_cast<size_t>(num_features_));
+  labels_.reserve(rows);
+}
+
+}  // namespace stage::gbt

@@ -1,0 +1,42 @@
+#ifndef STAGE_GBT_DATASET_H_
+#define STAGE_GBT_DATASET_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace stage::gbt {
+
+// A dense row-major feature matrix with one regression label per row.
+// This is the training-pool format the local model and the AutoWLM baseline
+// consume (rows are 33-dim flattened plan vectors, labels are exec-times in
+// the trainer's target space).
+class Dataset {
+ public:
+  explicit Dataset(int num_features);
+
+  int num_features() const { return num_features_; }
+  size_t num_rows() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+
+  // Appends one example. `row` must have exactly num_features() entries.
+  void AddRow(const float* row, double label);
+  void AddRow(const std::vector<float>& row, double label);
+
+  float feature(size_t row, int col) const {
+    return features_[row * num_features_ + col];
+  }
+  const float* row(size_t r) const { return &features_[r * num_features_]; }
+  double label(size_t r) const { return labels_[r]; }
+  const std::vector<double>& labels() const { return labels_; }
+
+  void Reserve(size_t rows);
+
+ private:
+  int num_features_;
+  std::vector<float> features_;
+  std::vector<double> labels_;
+};
+
+}  // namespace stage::gbt
+
+#endif  // STAGE_GBT_DATASET_H_

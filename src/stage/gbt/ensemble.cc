@@ -1,0 +1,102 @@
+#include "stage/gbt/ensemble.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "stage/common/macros.h"
+#include "stage/common/serialize.h"
+#include "stage/gbt/loss.h"
+
+namespace stage::gbt {
+
+BayesianGbtEnsemble BayesianGbtEnsemble::Train(const Dataset& data,
+                                               const EnsembleConfig& config) {
+  STAGE_CHECK(config.num_members >= 1);
+  BayesianGbtEnsemble ensemble;
+  ensemble.members_.resize(config.num_members);
+
+  auto train_member = [&](int k) {
+    GbdtConfig member_config = config.member;
+    // Distinct seeds give each member its own bagging draws and its own
+    // early-stopping split; that independence is what makes the variance of
+    // member means a usable model-uncertainty signal.
+    member_config.seed = config.member.seed + 0x9e3779b97f4a7c15ULL *
+                                                  static_cast<uint64_t>(k + 1);
+    const auto loss = MakeGaussianNllLoss();
+    ensemble.members_[k] = GbdtModel::Train(data, *loss, member_config);
+  };
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  if (config.parallel_train && config.num_members > 1 && hw > 1) {
+    std::vector<std::thread> workers;
+    workers.reserve(config.num_members);
+    for (int k = 0; k < config.num_members; ++k) {
+      workers.emplace_back(train_member, k);
+    }
+    for (auto& worker : workers) worker.join();
+  } else {
+    for (int k = 0; k < config.num_members; ++k) train_member(k);
+  }
+  return ensemble;
+}
+
+BayesianGbtEnsemble::Prediction BayesianGbtEnsemble::Predict(
+    const float* row) const {
+  STAGE_CHECK(!members_.empty());
+  const double k = static_cast<double>(members_.size());
+
+  Prediction out;
+  double sum_mu = 0.0;
+  double sum_mu_sq = 0.0;
+  double sum_var = 0.0;
+  for (const GbdtModel& member : members_) {
+    const std::vector<double> pred = member.Predict(row);
+    const double mu = pred[0];
+    const double sigma_sq = std::exp(std::clamp(pred[1], -12.0, 12.0));
+    sum_mu += mu;
+    sum_mu_sq += mu * mu;
+    sum_var += sigma_sq;
+  }
+  out.mean = sum_mu / k;                                       // Eq. 1.
+  out.model_variance = std::max(0.0, sum_mu_sq / k - out.mean * out.mean);
+  out.data_variance = sum_var / k;                             // Eq. 2.
+  return out;
+}
+
+size_t BayesianGbtEnsemble::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const GbdtModel& member : members_) bytes += member.MemoryBytes();
+  return bytes;
+}
+
+std::vector<double> BayesianGbtEnsemble::FeatureImportance() const {
+  STAGE_CHECK(!members_.empty());
+  std::vector<double> importance(members_[0].num_features(), 0.0);
+  for (const GbdtModel& member : members_) {
+    const std::vector<double> member_importance = member.FeatureImportance();
+    for (size_t f = 0; f < importance.size(); ++f) {
+      importance[f] += member_importance[f];
+    }
+  }
+  for (double& v : importance) v /= static_cast<double>(members_.size());
+  return importance;
+}
+
+void BayesianGbtEnsemble::Save(std::ostream& out) const {
+  WritePod<uint64_t>(out, members_.size());
+  for (const GbdtModel& member : members_) member.Save(out);
+}
+
+bool BayesianGbtEnsemble::Load(std::istream& in) {
+  uint64_t count = 0;
+  if (!ReadPod(in, &count) || count == 0 || count > 1024) return false;
+  std::vector<GbdtModel> members(count);
+  for (GbdtModel& member : members) {
+    if (!member.Load(in)) return false;
+  }
+  members_ = std::move(members);
+  return true;
+}
+
+}  // namespace stage::gbt

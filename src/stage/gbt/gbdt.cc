@@ -1,0 +1,386 @@
+#include "stage/gbt/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stage/common/macros.h"
+#include "stage/common/rng.h"
+#include "stage/common/serialize.h"
+#include "stage/gbt/quantizer.h"
+
+namespace stage::gbt {
+
+namespace {
+
+constexpr double kMinGain = 1e-12;
+
+struct SplitCandidate {
+  double gain = 0.0;
+  int feature = -1;
+  int bin = -1;  // Rows with binned value <= bin go left.
+  bool valid() const { return feature >= 0; }
+};
+
+// One tree-fitting pass over a sampled row set. Rows are partitioned in
+// place within `order` as nodes split.
+class TreeFitter {
+ public:
+  TreeFitter(const Dataset& data, const FeatureQuantizer& quantizer,
+             const std::vector<uint8_t>& binned, const GbdtConfig& config)
+      : data_(data),
+        quantizer_(quantizer),
+        binned_(binned),
+        config_(config),
+        d_(data.num_features()) {}
+
+  RegressionTree Fit(std::vector<size_t>& order,
+                     const std::vector<double>& grad,
+                     const std::vector<double>& hess,
+                     const std::vector<int>& features) {
+    RegressionTree tree;
+    double g_total = 0.0;
+    double h_total = 0.0;
+    for (size_t row : order) {
+      g_total += grad[row];
+      h_total += hess[row];
+    }
+    const int32_t root = tree.AddLeaf(0.0);
+    struct Work {
+      int32_t node;
+      size_t begin, end;
+      int depth;
+      double gsum, hsum;
+    };
+    std::vector<Work> stack = {
+        {root, 0, order.size(), 1, g_total, h_total}};
+
+    while (!stack.empty()) {
+      const Work work = stack.back();
+      stack.pop_back();
+      const size_t count = work.end - work.begin;
+
+      SplitCandidate best;
+      if (work.depth <= config_.max_depth &&
+          count >= 2 * static_cast<size_t>(config_.min_samples_leaf)) {
+        best = FindBestSplit(order, work.begin, work.end, grad, hess,
+                             features, work.gsum, work.hsum);
+      }
+      if (!best.valid()) {
+        MakeLeaf(&tree, work.node, work.gsum, work.hsum);
+        continue;
+      }
+
+      // Partition rows: binned value <= bin goes left.
+      double g_left = 0.0;
+      double h_left = 0.0;
+      size_t mid = work.begin;
+      for (size_t i = work.begin; i < work.end; ++i) {
+        const size_t row = order[i];
+        if (binned_[row * d_ + best.feature] <= best.bin) {
+          g_left += grad[row];
+          h_left += hess[row];
+          std::swap(order[i], order[mid]);
+          ++mid;
+        }
+      }
+      STAGE_DCHECK(mid > work.begin && mid < work.end);
+
+      const float threshold = quantizer_.UpperBoundary(best.feature, best.bin);
+      const auto [left, right] =
+          tree.SplitLeaf(work.node, best.feature, threshold);
+      stack.push_back({right, mid, work.end, work.depth + 1,
+                       work.gsum - g_left, work.hsum - h_left});
+      stack.push_back({left, work.begin, mid, work.depth + 1, g_left, h_left});
+    }
+    return tree;
+  }
+
+ private:
+  void MakeLeaf(RegressionTree* tree, int32_t node, double gsum, double hsum) {
+    double value = -gsum / (hsum + config_.lambda);
+    value = std::clamp(value, -config_.max_leaf_delta, config_.max_leaf_delta);
+    // Store the learning-rate-scaled step so Predict needs no extra state.
+    tree->SetLeafValue(node, value * config_.learning_rate);
+  }
+
+  SplitCandidate FindBestSplit(const std::vector<size_t>& order, size_t begin,
+                               size_t end, const std::vector<double>& grad,
+                               const std::vector<double>& hess,
+                               const std::vector<int>& features, double gsum,
+                               double hsum) {
+    // Accumulate per-(feature, bin) gradient histograms in one row pass.
+    const int kBins = 256;
+    hist_g_.assign(static_cast<size_t>(d_) * kBins, 0.0);
+    hist_h_.assign(static_cast<size_t>(d_) * kBins, 0.0);
+    hist_c_.assign(static_cast<size_t>(d_) * kBins, 0);
+    for (size_t i = begin; i < end; ++i) {
+      const size_t row = order[i];
+      const uint8_t* bins = &binned_[row * d_];
+      const double g = grad[row];
+      const double h = hess[row];
+      for (int f : features) {
+        const size_t slot = static_cast<size_t>(f) * kBins + bins[f];
+        hist_g_[slot] += g;
+        hist_h_[slot] += h;
+        ++hist_c_[slot];
+      }
+    }
+
+    const size_t count = end - begin;
+    const double parent_score = gsum * gsum / (hsum + config_.lambda);
+    SplitCandidate best;
+    for (int f : features) {
+      const int num_bins = quantizer_.NumBins(f);
+      double g_left = 0.0;
+      double h_left = 0.0;
+      size_t c_left = 0;
+      // The last bin has no upper boundary, so stop one short.
+      for (int b = 0; b + 1 < num_bins; ++b) {
+        const size_t slot = static_cast<size_t>(f) * kBins + b;
+        g_left += hist_g_[slot];
+        h_left += hist_h_[slot];
+        c_left += hist_c_[slot];
+        if (c_left < static_cast<size_t>(config_.min_samples_leaf)) continue;
+        const size_t c_right = count - c_left;
+        if (c_right < static_cast<size_t>(config_.min_samples_leaf)) break;
+        const double h_right = hsum - h_left;
+        if (h_left < config_.min_child_hessian ||
+            h_right < config_.min_child_hessian) {
+          continue;
+        }
+        const double g_right = gsum - g_left;
+        const double gain = g_left * g_left / (h_left + config_.lambda) +
+                            g_right * g_right / (h_right + config_.lambda) -
+                            parent_score;
+        if (gain > best.gain + kMinGain) {
+          best.gain = gain;
+          best.feature = f;
+          best.bin = b;
+        }
+      }
+    }
+    return best;
+  }
+
+  const Dataset& data_;
+  const FeatureQuantizer& quantizer_;
+  const std::vector<uint8_t>& binned_;
+  const GbdtConfig& config_;
+  const int d_;
+  std::vector<double> hist_g_;
+  std::vector<double> hist_h_;
+  std::vector<int> hist_c_;
+};
+
+}  // namespace
+
+GbdtModel GbdtModel::Train(const Dataset& data, const Loss& loss,
+                           const GbdtConfig& config) {
+  STAGE_CHECK(config.num_rounds >= 0);
+  STAGE_CHECK(config.max_depth >= 1);
+  STAGE_CHECK(config.subsample > 0.0 && config.subsample <= 1.0);
+  STAGE_CHECK(config.colsample > 0.0 && config.colsample <= 1.0);
+
+  GbdtModel model;
+  model.num_features_ = data.num_features();
+  model.num_outputs_ = loss.num_outputs();
+  model.base_scores_ = loss.InitScores(data.labels());
+  if (data.empty() || config.num_rounds == 0) return model;
+
+  const size_t n = data.num_rows();
+  const int num_outputs = loss.num_outputs();
+  Rng rng(config.seed);
+
+  // Random validation split for early stopping (the paper holds out 20%).
+  std::vector<size_t> train_rows;
+  std::vector<size_t> val_rows;
+  const bool use_early_stopping =
+      config.early_stopping_rounds > 0 && config.validation_fraction > 0.0 &&
+      n >= 20;
+  if (use_early_stopping) {
+    const std::vector<size_t> perm = rng.Permutation(n);
+    const size_t num_val = std::max<size_t>(
+        1, static_cast<size_t>(config.validation_fraction *
+                               static_cast<double>(n)));
+    val_rows.assign(perm.begin(), perm.begin() + num_val);
+    train_rows.assign(perm.begin() + num_val, perm.end());
+  } else {
+    train_rows.resize(n);
+    for (size_t i = 0; i < n; ++i) train_rows[i] = i;
+  }
+
+  const FeatureQuantizer quantizer(data, config.max_bins);
+  const std::vector<uint8_t> binned = quantizer.Transform(data);
+  TreeFitter fitter(data, quantizer, binned, config);
+
+  // Current predictions for every row (train + validation).
+  std::vector<double> preds(n * static_cast<size_t>(num_outputs));
+  for (size_t i = 0; i < n; ++i) {
+    for (int p = 0; p < num_outputs; ++p) {
+      preds[i * num_outputs + p] = model.base_scores_[p];
+    }
+  }
+
+  std::vector<double> val_labels(val_rows.size());
+  for (size_t i = 0; i < val_rows.size(); ++i) {
+    val_labels[i] = data.label(val_rows[i]);
+  }
+  std::vector<double> val_preds(val_rows.size() *
+                                static_cast<size_t>(num_outputs));
+
+  double best_val_loss = std::numeric_limits<double>::infinity();
+  int best_round = -1;
+
+  std::vector<double> grad;
+  std::vector<double> hess;
+  std::vector<size_t> sampled;
+  std::vector<int> features;
+  const int num_sampled_features = std::max(
+      1, static_cast<int>(config.colsample * data.num_features()));
+
+  for (int round = 0; round < config.num_rounds; ++round) {
+    // Row bagging for this round (shared across the round's output trees).
+    sampled.clear();
+    if (config.subsample < 1.0) {
+      for (size_t row : train_rows) {
+        if (rng.NextBernoulli(config.subsample)) sampled.push_back(row);
+      }
+      if (sampled.empty()) sampled = train_rows;
+    } else {
+      sampled = train_rows;
+    }
+    // Feature sampling.
+    features.clear();
+    if (num_sampled_features < data.num_features()) {
+      const std::vector<size_t> perm =
+          rng.Permutation(static_cast<size_t>(data.num_features()));
+      for (int i = 0; i < num_sampled_features; ++i) {
+        features.push_back(static_cast<int>(perm[i]));
+      }
+      std::sort(features.begin(), features.end());
+    } else {
+      for (int f = 0; f < data.num_features(); ++f) features.push_back(f);
+    }
+
+    model.trees_.emplace_back();
+    for (int p = 0; p < num_outputs; ++p) {
+      loss.GradHess(data.labels(), preds, p, &grad, &hess);
+      RegressionTree tree = fitter.Fit(sampled, grad, hess, features);
+      for (size_t i = 0; i < n; ++i) {
+        preds[i * num_outputs + p] += tree.Predict(data.row(i));
+      }
+      model.trees_.back().push_back(std::move(tree));
+    }
+
+    if (use_early_stopping) {
+      for (size_t i = 0; i < val_rows.size(); ++i) {
+        for (int p = 0; p < num_outputs; ++p) {
+          val_preds[i * num_outputs + p] =
+              preds[val_rows[i] * num_outputs + p];
+        }
+      }
+      const double val_loss = loss.Eval(val_labels, val_preds);
+      if (val_loss < best_val_loss - 1e-9) {
+        best_val_loss = val_loss;
+        best_round = round;
+      } else if (round - best_round >= config.early_stopping_rounds) {
+        break;
+      }
+    }
+  }
+
+  if (use_early_stopping && best_round >= 0) {
+    model.trees_.resize(static_cast<size_t>(best_round) + 1);
+  }
+  return model;
+}
+
+std::vector<double> GbdtModel::Predict(const float* row) const {
+  std::vector<double> out = base_scores_;
+  for (const auto& round : trees_) {
+    for (int p = 0; p < num_outputs_; ++p) {
+      out[p] += round[p].Predict(row);
+    }
+  }
+  return out;
+}
+
+double GbdtModel::PredictScalar(const float* row) const {
+  STAGE_DCHECK(num_outputs_ >= 1);
+  double out = base_scores_[0];
+  for (const auto& round : trees_) out += round[0].Predict(row);
+  return out;
+}
+
+std::vector<double> GbdtModel::FeatureImportance() const {
+  std::vector<double> importance(num_features_, 0.0);
+  double total = 0.0;
+  for (const auto& round : trees_) {
+    for (const auto& tree : round) {
+      for (const auto& node : tree.nodes()) {
+        if (node.is_leaf()) continue;
+        STAGE_DCHECK(node.feature >= 0 && node.feature < num_features_);
+        importance[node.feature] += 1.0;
+        total += 1.0;
+      }
+    }
+  }
+  if (total > 0.0) {
+    for (double& v : importance) v /= total;
+  }
+  return importance;
+}
+
+size_t GbdtModel::MemoryBytes() const {
+  size_t bytes = base_scores_.size() * sizeof(double);
+  for (const auto& round : trees_) {
+    for (const auto& tree : round) bytes += tree.MemoryBytes();
+  }
+  return bytes;
+}
+
+namespace {
+constexpr uint32_t kGbdtMagic = 0x53474254;  // "SGBT".
+constexpr uint32_t kGbdtVersion = 1;
+}  // namespace
+
+void GbdtModel::Save(std::ostream& out) const {
+  WriteHeader(out, kGbdtMagic, kGbdtVersion);
+  WritePod<int32_t>(out, num_features_);
+  WritePod<int32_t>(out, num_outputs_);
+  WriteVector(out, base_scores_);
+  WritePod<uint64_t>(out, trees_.size());
+  for (const auto& round : trees_) {
+    for (const auto& tree : round) tree.Save(out);
+  }
+}
+
+bool GbdtModel::Load(std::istream& in) {
+  if (!ReadHeader(in, kGbdtMagic, kGbdtVersion)) return false;
+  int32_t num_features = 0;
+  int32_t num_outputs = 0;
+  if (!ReadPod(in, &num_features) || !ReadPod(in, &num_outputs)) return false;
+  if (num_features < 0 || num_outputs < 1 || num_outputs > 64) return false;
+  std::vector<double> base_scores;
+  if (!ReadVector(in, &base_scores) ||
+      base_scores.size() != static_cast<size_t>(num_outputs)) {
+    return false;
+  }
+  uint64_t num_rounds = 0;
+  if (!ReadPod(in, &num_rounds) || num_rounds > (1u << 24)) return false;
+  std::vector<std::vector<RegressionTree>> trees(num_rounds);
+  for (auto& round : trees) {
+    round.resize(num_outputs);
+    for (auto& tree : round) {
+      if (!tree.Load(in)) return false;
+    }
+  }
+  num_features_ = num_features;
+  num_outputs_ = num_outputs;
+  base_scores_ = std::move(base_scores);
+  trees_ = std::move(trees);
+  return true;
+}
+
+}  // namespace stage::gbt

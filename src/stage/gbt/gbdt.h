@@ -1,0 +1,77 @@
+#ifndef STAGE_GBT_GBDT_H_
+#define STAGE_GBT_GBDT_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "stage/gbt/dataset.h"
+#include "stage/gbt/loss.h"
+#include "stage/gbt/tree.h"
+
+namespace stage::gbt {
+
+// Hyper-parameters, defaulted to the paper's local-model settings (§5.1):
+// 200 estimators, max depth 6, a random 20% validation split for early
+// stopping.
+struct GbdtConfig {
+  int num_rounds = 200;
+  int max_depth = 6;
+  double learning_rate = 0.1;
+  double lambda = 1.0;             // L2 regularization on leaf values.
+  double min_child_hessian = 1.0;  // Min summed Hessian per child.
+  int min_samples_leaf = 1;
+  double subsample = 0.8;          // Row sampling per tree (bagging).
+  double colsample = 1.0;          // Feature sampling per tree.
+  int max_bins = 64;               // Histogram bins for split finding.
+  double validation_fraction = 0.2;
+  int early_stopping_rounds = 20;  // 0 disables early stopping.
+  double max_leaf_delta = 10.0;    // Clip on the Newton leaf step.
+  uint64_t seed = 0;
+};
+
+// A gradient-boosted decision tree model trained with per-leaf Newton steps
+// (XGBoost-style second-order boosting) over histogram-quantized features.
+// Supports multi-output losses: one tree per output per round.
+class GbdtModel {
+ public:
+  GbdtModel() = default;
+
+  // Trains a model. An empty dataset yields a constant (base-score) model.
+  static GbdtModel Train(const Dataset& data, const Loss& loss,
+                         const GbdtConfig& config);
+
+  // Predicts all outputs for one raw feature row.
+  std::vector<double> Predict(const float* row) const;
+  // Convenience: output 0 only (single-output losses).
+  double PredictScalar(const float* row) const;
+
+  // Binary checkpointing; Load replaces the model and returns false on a
+  // malformed stream.
+  void Save(std::ostream& out) const;
+  bool Load(std::istream& in);
+
+  // Split-frequency feature importance ("weight" importance): the share
+  // of internal splits that test each feature, normalized to sum to 1
+  // (all-zero for a constant model). Useful for auditing what the local
+  // model actually keys on.
+  std::vector<double> FeatureImportance() const;
+
+  int num_outputs() const { return num_outputs_; }
+  int num_features() const { return num_features_; }
+  // Boosting rounds retained after early stopping.
+  int rounds_used() const { return static_cast<int>(trees_.size()); }
+  size_t MemoryBytes() const;
+
+ private:
+  int num_features_ = 0;
+  int num_outputs_ = 0;
+  std::vector<double> base_scores_;
+  // trees_[round][output].
+  std::vector<std::vector<RegressionTree>> trees_;
+};
+
+}  // namespace stage::gbt
+
+#endif  // STAGE_GBT_GBDT_H_

@@ -1,0 +1,204 @@
+#include "stage/gbt/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stage/common/macros.h"
+#include "stage/common/stats.h"
+
+namespace stage::gbt {
+
+namespace {
+
+constexpr double kMinHessian = 1e-6;
+// Clamp on s = log sigma^2 to keep exp() finite during training.
+constexpr double kMinLogVar = -12.0;
+constexpr double kMaxLogVar = 12.0;
+
+class SquaredLoss final : public Loss {
+ public:
+  int num_outputs() const override { return 1; }
+
+  std::vector<double> InitScores(
+      const std::vector<double>& labels) const override {
+    return {labels.empty() ? 0.0 : Mean(labels)};
+  }
+
+  void GradHess(const std::vector<double>& labels,
+                const std::vector<double>& preds, int output,
+                std::vector<double>* grad,
+                std::vector<double>* hess) const override {
+    STAGE_CHECK(output == 0);
+    const size_t n = labels.size();
+    grad->resize(n);
+    hess->resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      (*grad)[i] = preds[i] - labels[i];
+      (*hess)[i] = 1.0;
+    }
+  }
+
+  double Eval(const std::vector<double>& labels,
+              const std::vector<double>& preds) const override {
+    double total = 0.0;
+    for (size_t i = 0; i < labels.size(); ++i) {
+      const double diff = preds[i] - labels[i];
+      total += 0.5 * diff * diff;
+    }
+    return labels.empty() ? 0.0 : total / static_cast<double>(labels.size());
+  }
+};
+
+class AbsoluteLoss final : public Loss {
+ public:
+  int num_outputs() const override { return 1; }
+
+  std::vector<double> InitScores(
+      const std::vector<double>& labels) const override {
+    if (labels.empty()) return {0.0};
+    std::vector<double> sorted = labels;
+    std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                     sorted.end());
+    return {sorted[sorted.size() / 2]};  // Median minimizes |y - c|.
+  }
+
+  void GradHess(const std::vector<double>& labels,
+                const std::vector<double>& preds, int output,
+                std::vector<double>* grad,
+                std::vector<double>* hess) const override {
+    STAGE_CHECK(output == 0);
+    const size_t n = labels.size();
+    grad->resize(n);
+    hess->resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      (*grad)[i] = preds[i] > labels[i] ? 1.0 : -1.0;
+      (*hess)[i] = 1.0;  // Unit Hessian: first-order (gradient) steps.
+    }
+  }
+
+  double Eval(const std::vector<double>& labels,
+              const std::vector<double>& preds) const override {
+    double total = 0.0;
+    for (size_t i = 0; i < labels.size(); ++i) {
+      total += std::abs(preds[i] - labels[i]);
+    }
+    return labels.empty() ? 0.0 : total / static_cast<double>(labels.size());
+  }
+};
+
+class QuantileLoss final : public Loss {
+ public:
+  explicit QuantileLoss(double quantile) : quantile_(quantile) {
+    STAGE_CHECK(quantile > 0.0 && quantile < 1.0);
+  }
+
+  int num_outputs() const override { return 1; }
+
+  std::vector<double> InitScores(
+      const std::vector<double>& labels) const override {
+    if (labels.empty()) return {0.0};
+    std::vector<double> sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    return {SortedQuantile(sorted, quantile_)};
+  }
+
+  void GradHess(const std::vector<double>& labels,
+                const std::vector<double>& preds, int output,
+                std::vector<double>* grad,
+                std::vector<double>* hess) const override {
+    STAGE_CHECK(output == 0);
+    const size_t n = labels.size();
+    grad->resize(n);
+    hess->resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      // d/dpred of pinball: q-1 when under-predicting, q when over.
+      (*grad)[i] = preds[i] >= labels[i] ? quantile_ : quantile_ - 1.0;
+      (*hess)[i] = 1.0;
+    }
+  }
+
+  double Eval(const std::vector<double>& labels,
+              const std::vector<double>& preds) const override {
+    double total = 0.0;
+    for (size_t i = 0; i < labels.size(); ++i) {
+      const double diff = labels[i] - preds[i];
+      total += diff >= 0.0 ? quantile_ * diff : (quantile_ - 1.0) * diff;
+    }
+    return labels.empty() ? 0.0 : total / static_cast<double>(labels.size());
+  }
+
+ private:
+  double quantile_;
+};
+
+class GaussianNllLoss final : public Loss {
+ public:
+  int num_outputs() const override { return 2; }
+
+  std::vector<double> InitScores(
+      const std::vector<double>& labels) const override {
+    if (labels.empty()) return {0.0, 0.0};
+    Welford stats;
+    for (double y : labels) stats.Add(y);
+    const double var = std::max(stats.variance(), 1e-6);
+    return {stats.mean(), std::clamp(std::log(var), kMinLogVar, kMaxLogVar)};
+  }
+
+  void GradHess(const std::vector<double>& labels,
+                const std::vector<double>& preds, int output,
+                std::vector<double>* grad,
+                std::vector<double>* hess) const override {
+    const size_t n = labels.size();
+    grad->resize(n);
+    hess->resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double mu = preds[2 * i];
+      const double s = std::clamp(preds[2 * i + 1], kMinLogVar, kMaxLogVar);
+      const double inv_var = std::exp(-s);
+      const double diff = labels[i] - mu;
+      if (output == 0) {
+        // d/dmu: -(y - mu) * exp(-s); d2/dmu2: exp(-s).
+        (*grad)[i] = -diff * inv_var;
+        (*hess)[i] = std::max(inv_var, kMinHessian);
+      } else {
+        // d/ds: 0.5 * (1 - (y - mu)^2 * exp(-s));
+        // d2/ds2: 0.5 * (y - mu)^2 * exp(-s).
+        const double scaled_sq = diff * diff * inv_var;
+        (*grad)[i] = 0.5 * (1.0 - scaled_sq);
+        (*hess)[i] = std::max(0.5 * scaled_sq, kMinHessian);
+      }
+    }
+  }
+
+  double Eval(const std::vector<double>& labels,
+              const std::vector<double>& preds) const override {
+    double total = 0.0;
+    for (size_t i = 0; i < labels.size(); ++i) {
+      const double mu = preds[2 * i];
+      const double s = std::clamp(preds[2 * i + 1], kMinLogVar, kMaxLogVar);
+      const double diff = labels[i] - mu;
+      total += 0.5 * (s + diff * diff * std::exp(-s));
+    }
+    return labels.empty() ? 0.0 : total / static_cast<double>(labels.size());
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Loss> MakeSquaredLoss() {
+  return std::make_unique<SquaredLoss>();
+}
+
+std::unique_ptr<Loss> MakeAbsoluteLoss() {
+  return std::make_unique<AbsoluteLoss>();
+}
+
+std::unique_ptr<Loss> MakeQuantileLoss(double quantile) {
+  return std::make_unique<QuantileLoss>(quantile);
+}
+
+std::unique_ptr<Loss> MakeGaussianNllLoss() {
+  return std::make_unique<GaussianNllLoss>();
+}
+
+}  // namespace stage::gbt

@@ -1,0 +1,59 @@
+#ifndef STAGE_GBT_LOSS_H_
+#define STAGE_GBT_LOSS_H_
+
+#include <memory>
+#include <vector>
+
+namespace stage::gbt {
+
+// A twice-differentiable training objective for Newton boosting. A loss may
+// parameterize several outputs per example (the Gaussian NLL drives both a
+// mean and a log-variance ensemble); the trainer fits one tree per output
+// per boosting round.
+class Loss {
+ public:
+  virtual ~Loss() = default;
+
+  // Number of model outputs per example.
+  virtual int num_outputs() const = 0;
+
+  // Initial scores F_0 (length num_outputs) from the raw labels.
+  virtual std::vector<double> InitScores(
+      const std::vector<double>& labels) const = 0;
+
+  // First/second derivatives of the per-example loss w.r.t. output `output`,
+  // evaluated at predictions `preds` (row-major [n x num_outputs]).
+  // grad/hess have length n. Hessians must be positive (clamp if needed).
+  virtual void GradHess(const std::vector<double>& labels,
+                        const std::vector<double>& preds, int output,
+                        std::vector<double>* grad,
+                        std::vector<double>* hess) const = 0;
+
+  // Mean per-example loss (early-stopping / validation metric).
+  virtual double Eval(const std::vector<double>& labels,
+                      const std::vector<double>& preds) const = 0;
+};
+
+// 0.5 * (y - mu)^2. One output.
+std::unique_ptr<Loss> MakeSquaredLoss();
+
+// |y - mu|, the AutoWLM baseline objective (§5.1: the baseline "is trained
+// with the mean absolute error"). One output; uses unit Hessians, so leaf
+// values take gradient (sign) steps damped by the learning rate.
+std::unique_ptr<Loss> MakeAbsoluteLoss();
+
+// Pinball (quantile) loss for a target quantile q in (0, 1): predicting
+// the q-quantile of the conditional exec-time distribution instead of its
+// center. Useful for worst-case-aware scheduling (admit by the P90
+// prediction rather than the mean). One output; unit Hessians.
+std::unique_ptr<Loss> MakeQuantileLoss(double quantile);
+
+// Gaussian negative log-likelihood over (mu, s = log sigma^2):
+//   NLL = 0.5 * (s + (y - mu)^2 * exp(-s)) + const.
+// Two outputs; this is the per-member objective of the Bayesian ensemble
+// ([31], §4.3), equivalent to CatBoost's RMSEWithUncertainty.
+std::unique_ptr<Loss> MakeGaussianNllLoss();
+
+}  // namespace stage::gbt
+
+#endif  // STAGE_GBT_LOSS_H_

@@ -1,0 +1,76 @@
+#include "stage/gbt/quantizer.h"
+
+#include <algorithm>
+
+#include "stage/common/macros.h"
+
+namespace stage::gbt {
+
+FeatureQuantizer::FeatureQuantizer(const Dataset& data, int max_bins) {
+  STAGE_CHECK(max_bins >= 2 && max_bins <= 256);
+  STAGE_CHECK(!data.empty());
+  const size_t n = data.num_rows();
+  boundaries_.resize(data.num_features());
+
+  std::vector<float> column(n);
+  for (int f = 0; f < data.num_features(); ++f) {
+    for (size_t r = 0; r < n; ++r) column[r] = data.feature(r, f);
+    std::sort(column.begin(), column.end());
+
+    // Distinct values in sorted order.
+    std::vector<float> distinct;
+    distinct.reserve(std::min<size_t>(n, 1024));
+    for (size_t r = 0; r < n; ++r) {
+      if (distinct.empty() || column[r] != distinct.back()) {
+        distinct.push_back(column[r]);
+      }
+    }
+
+    std::vector<float>& cuts = boundaries_[f];
+    if (static_cast<int>(distinct.size()) <= max_bins) {
+      // One bin per distinct value; cut at each value (except the last).
+      for (size_t i = 0; i + 1 < distinct.size(); ++i) {
+        cuts.push_back(distinct[i]);
+      }
+    } else {
+      // Quantile cuts over the raw (duplicated) column so that populous
+      // values get their own bins.
+      cuts.reserve(max_bins - 1);
+      for (int b = 1; b < max_bins; ++b) {
+        const size_t index = n * static_cast<size_t>(b) / max_bins;
+        const float cut = column[std::min(index, n - 1)];
+        if (cuts.empty() || cut > cuts.back()) cuts.push_back(cut);
+      }
+      // A quantile cut at the global max would make the last bin empty.
+      while (!cuts.empty() && cuts.back() >= distinct.back()) cuts.pop_back();
+    }
+  }
+}
+
+uint8_t FeatureQuantizer::BinOf(int feature, float value) const {
+  const std::vector<float>& cuts = boundaries_[feature];
+  // First bin b with value <= cuts[b]; otherwise the last bin.
+  const auto it = std::lower_bound(cuts.begin(), cuts.end(), value);
+  return static_cast<uint8_t>(it - cuts.begin());
+}
+
+float FeatureQuantizer::UpperBoundary(int feature, int bin) const {
+  const std::vector<float>& cuts = boundaries_[feature];
+  STAGE_CHECK(bin >= 0 && bin < static_cast<int>(cuts.size()));
+  return cuts[bin];
+}
+
+std::vector<uint8_t> FeatureQuantizer::Transform(const Dataset& data) const {
+  STAGE_CHECK(data.num_features() == num_features());
+  const size_t n = data.num_rows();
+  const int d = data.num_features();
+  std::vector<uint8_t> binned(n * static_cast<size_t>(d));
+  for (size_t r = 0; r < n; ++r) {
+    for (int f = 0; f < d; ++f) {
+      binned[r * d + f] = BinOf(f, data.feature(r, f));
+    }
+  }
+  return binned;
+}
+
+}  // namespace stage::gbt

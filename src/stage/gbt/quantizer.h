@@ -1,0 +1,45 @@
+#ifndef STAGE_GBT_QUANTIZER_H_
+#define STAGE_GBT_QUANTIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stage/gbt/dataset.h"
+
+namespace stage::gbt {
+
+// Histogram feature quantizer: maps each float feature to a small bin index
+// using per-feature quantile boundaries, as in LightGBM/XGBoost 'hist'.
+// Split finding then scans at most max_bins buckets per feature instead of
+// all distinct values.
+class FeatureQuantizer {
+ public:
+  // Builds boundaries from the data. max_bins must be in [2, 256].
+  FeatureQuantizer(const Dataset& data, int max_bins);
+
+  int num_features() const { return static_cast<int>(boundaries_.size()); }
+
+  // Number of bins actually used for a feature (<= max_bins).
+  int NumBins(int feature) const {
+    return static_cast<int>(boundaries_[feature].size()) + 1;
+  }
+
+  // Bin index of a raw value for a feature, in [0, NumBins(feature)).
+  uint8_t BinOf(int feature, float value) const;
+
+  // The raw-value threshold separating bin <= `bin` from bin+1 for use in
+  // tree nodes (x <= threshold goes left). Requires bin < NumBins-1.
+  float UpperBoundary(int feature, int bin) const;
+
+  // Quantizes the whole dataset, row-major [num_rows x num_features].
+  std::vector<uint8_t> Transform(const Dataset& data) const;
+
+ private:
+  // boundaries_[f] is an ascending list of cut values; value v falls in the
+  // first bin b with v <= boundaries_[f][b], else the last bin.
+  std::vector<std::vector<float>> boundaries_;
+};
+
+}  // namespace stage::gbt
+
+#endif  // STAGE_GBT_QUANTIZER_H_

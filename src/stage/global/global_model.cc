@@ -1,0 +1,211 @@
+#include "stage/global/global_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stage/common/macros.h"
+#include "stage/common/serialize.h"
+
+namespace stage::global {
+
+namespace {
+
+float Log1p(double v) { return static_cast<float>(std::log1p(v < 0 ? 0 : v)); }
+
+// Huber loss derivative w.r.t. the residual r = pred - target.
+double HuberGrad(double r, double delta) {
+  if (r > delta) return delta;
+  if (r < -delta) return -delta;
+  return r;
+}
+
+}  // namespace
+
+std::vector<float> SystemFeatures(const fleet::InstanceConfig& instance,
+                                  const plan::Plan& plan,
+                                  int concurrent_queries) {
+  std::vector<float> features(kSystemFeatureDim, 0.0f);
+  const int type_slot = static_cast<int>(instance.node_type);
+  STAGE_CHECK(type_slot <
+              static_cast<int>(fleet::NodeType::kNumNodeTypes));
+  features[type_slot] = 1.0f;
+  int i = static_cast<int>(fleet::NodeType::kNumNodeTypes);
+  features[i++] = Log1p(instance.num_nodes);
+  features[i++] = Log1p(instance.memory_gb);
+  features[i++] = Log1p(concurrent_queries);
+  // Plan summarization (§4.4: "a summarization of the query plan").
+  features[i++] = Log1p(plan.node_count());
+  features[i++] = Log1p(plan.Depth());
+  features[i++] = Log1p(plan.TotalEstimatedCost());
+  features[i++] = Log1p(plan.node(plan.root()).estimated_cardinality);
+  STAGE_CHECK(i == kSystemFeatureDim);
+  return features;
+}
+
+GlobalExample MakeGlobalExample(const plan::Plan& plan,
+                                const fleet::InstanceConfig& instance,
+                                int concurrent_queries, double exec_seconds) {
+  GlobalExample example;
+  example.node_features = plan::NodeFeatures(plan);
+  example.children.reserve(plan.node_count());
+  for (const plan::PlanNode& node : plan.nodes()) {
+    example.children.push_back(node.children);
+  }
+  example.system_features =
+      SystemFeatures(instance, plan, concurrent_queries);
+  example.target = std::log1p(std::max(0.0, exec_seconds));
+  return example;
+}
+
+GlobalModel GlobalModel::Train(const std::vector<GlobalExample>& examples,
+                               const GlobalModelConfig& config,
+                               double* val_mae_log) {
+  STAGE_CHECK(!examples.empty());
+  GlobalModel model;
+  model.config_ = config;
+
+  Rng rng(config.seed);
+  nn::TreeGcn::Config gcn_config;
+  gcn_config.input_dim = plan::kNodeFeatureDim;
+  gcn_config.hidden_dim = config.hidden_dim;
+  gcn_config.num_layers = config.num_layers;
+  gcn_config.dropout = config.dropout;
+  model.gcn_.Init(gcn_config, rng);
+
+  std::vector<int> head_dims;
+  head_dims.push_back(config.hidden_dim + kSystemFeatureDim);
+  for (int h : config.head_hidden) head_dims.push_back(h);
+  head_dims.push_back(1);
+  model.head_.Init(head_dims, rng);
+
+  // Train/validation split.
+  std::vector<size_t> order = rng.Permutation(examples.size());
+  size_t num_val = 0;
+  if (config.validation_fraction > 0.0 && examples.size() >= 20) {
+    num_val = static_cast<size_t>(config.validation_fraction *
+                                  static_cast<double>(examples.size()));
+  }
+  std::vector<size_t> val_rows(order.begin(), order.begin() + num_val);
+  std::vector<size_t> train_rows(order.begin() + num_val, order.end());
+  STAGE_CHECK(!train_rows.empty());
+
+  const int concat_dim = config.hidden_dim + kSystemFeatureDim;
+  std::vector<float> concat(concat_dim);
+  std::vector<float> dconcat(concat_dim);
+  nn::TreeGcn::Workspace gcn_ws;
+  nn::Mlp::Workspace head_ws;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    train_rows = [&] {
+      // Reshuffle each epoch.
+      std::vector<size_t> shuffled;
+      shuffled.reserve(train_rows.size());
+      for (size_t i : rng.Permutation(train_rows.size())) {
+        shuffled.push_back(train_rows[i]);
+      }
+      return shuffled;
+    }();
+
+    size_t index = 0;
+    while (index < train_rows.size()) {
+      const size_t batch_end = std::min(
+          index + static_cast<size_t>(config.batch_size), train_rows.size());
+      const double batch_size = static_cast<double>(batch_end - index);
+      model.gcn_.ZeroGrad();
+      model.head_.ZeroGrad();
+      for (; index < batch_end; ++index) {
+        const GlobalExample& example = examples[train_rows[index]];
+        const int n = static_cast<int>(example.children.size());
+        const float* root = model.gcn_.Forward(
+            example.node_features.data(), n, example.children, &gcn_ws,
+            /*train=*/true, &rng);
+        std::copy(root, root + config.hidden_dim, concat.begin());
+        std::copy(example.system_features.begin(),
+                  example.system_features.end(),
+                  concat.begin() + config.hidden_dim);
+        const float* out =
+            model.head_.Forward(concat.data(), &head_ws, /*train=*/true,
+                                config.dropout, &rng);
+        const double residual = static_cast<double>(out[0]) - example.target;
+        const float dout =
+            static_cast<float>(HuberGrad(residual, config.huber_delta));
+
+        std::fill(dconcat.begin(), dconcat.end(), 0.0f);
+        model.head_.Backward(&dout, head_ws, dconcat.data());
+        model.gcn_.Backward(dconcat.data(), example.children, gcn_ws);
+      }
+      model.gcn_.Step(config.adam, batch_size);
+      model.head_.Step(config.adam, batch_size);
+    }
+  }
+  model.trained_ = true;
+
+  if (val_mae_log != nullptr) {
+    double total = 0.0;
+    const std::vector<size_t>& rows = num_val > 0 ? val_rows : train_rows;
+    for (size_t row : rows) {
+      total += std::abs(model.ForwardTarget(examples[row]) -
+                        examples[row].target);
+    }
+    *val_mae_log = rows.empty() ? 0.0
+                                : total / static_cast<double>(rows.size());
+  }
+  return model;
+}
+
+double GlobalModel::ForwardTarget(const GlobalExample& example) const {
+  nn::TreeGcn::Workspace gcn_ws;
+  nn::Mlp::Workspace head_ws;
+  std::vector<float> concat(config_.hidden_dim + kSystemFeatureDim);
+  const int n = static_cast<int>(example.children.size());
+  const float* root = gcn_.Forward(example.node_features.data(), n,
+                                   example.children, &gcn_ws);
+  std::copy(root, root + config_.hidden_dim, concat.begin());
+  std::copy(example.system_features.begin(), example.system_features.end(),
+            concat.begin() + config_.hidden_dim);
+  const float* out = head_.Forward(concat.data(), &head_ws);
+  return static_cast<double>(out[0]);
+}
+
+double GlobalModel::PredictSecondsFromExample(
+    const GlobalExample& example) const {
+  STAGE_CHECK(trained_);
+  const double target = std::clamp(ForwardTarget(example), 0.0, 14.0);
+  return std::max(0.0, std::expm1(target));
+}
+
+double GlobalModel::PredictSeconds(const plan::Plan& plan,
+                                   const fleet::InstanceConfig& instance,
+                                   int concurrent_queries) const {
+  const GlobalExample example =
+      MakeGlobalExample(plan, instance, concurrent_queries, 0.0);
+  return PredictSecondsFromExample(example);
+}
+
+size_t GlobalModel::MemoryBytes() const {
+  return gcn_.MemoryBytes() + head_.MemoryBytes();
+}
+
+namespace {
+constexpr uint32_t kGlobalMagic = 0x53474d4c;  // "SGML".
+constexpr uint32_t kGlobalVersion = 1;
+}  // namespace
+
+void GlobalModel::Save(std::ostream& out) const {
+  STAGE_CHECK_MSG(trained_, "cannot save an untrained global model");
+  WriteHeader(out, kGlobalMagic, kGlobalVersion);
+  gcn_.Save(out);
+  head_.Save(out);
+}
+
+bool GlobalModel::Load(std::istream& in) {
+  if (!ReadHeader(in, kGlobalMagic, kGlobalVersion)) return false;
+  if (!gcn_.Load(in) || !head_.Load(in)) return false;
+  // The head must accept [gcn hidden + system features].
+  if (head_.in_dim() != gcn_.hidden_dim() + kSystemFeatureDim) return false;
+  config_.hidden_dim = gcn_.hidden_dim();
+  trained_ = true;
+  return true;
+}
+
+}  // namespace stage::global

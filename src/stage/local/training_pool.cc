@@ -1,0 +1,80 @@
+#include "stage/local/training_pool.h"
+
+#include <cmath>
+
+#include "stage/common/macros.h"
+
+namespace stage::local {
+
+TrainingPool::TrainingPool(const TrainingPoolConfig& config)
+    : config_(config) {
+  STAGE_CHECK(config.capacity > 0);
+  double total_fraction = 0.0;
+  for (double f : config.bucket_fractions) {
+    STAGE_CHECK(f > 0.0);
+    total_fraction += f;
+  }
+  STAGE_CHECK(std::abs(total_fraction - 1.0) < 1e-6);
+  STAGE_CHECK(config.bucket_bounds_seconds[0] <
+              config.bucket_bounds_seconds[1]);
+}
+
+int TrainingPool::BucketOf(double exec_seconds) const {
+  if (!config_.duration_buckets) return 0;
+  if (exec_seconds < config_.bucket_bounds_seconds[0]) return 0;
+  if (exec_seconds < config_.bucket_bounds_seconds[1]) return 1;
+  return 2;
+}
+
+size_t TrainingPool::BucketCap(int bucket) const {
+  if (!config_.duration_buckets) return config_.capacity;
+  const double cap = config_.bucket_fractions[bucket] *
+                     static_cast<double>(config_.capacity);
+  return static_cast<size_t>(cap) > 0 ? static_cast<size_t>(cap) : 1;
+}
+
+void TrainingPool::Add(const plan::PlanFeatures& features,
+                       double exec_seconds) {
+  STAGE_CHECK(exec_seconds >= 0.0);
+  ++total_added_;
+  const int bucket = BucketOf(exec_seconds);
+  auto& queue = buckets_[bucket];
+  queue.push_back({features, exec_seconds});
+  if (!config_.unbounded && queue.size() > BucketCap(bucket)) {
+    queue.pop_front();  // Evict the oldest observation in this bucket.
+  }
+}
+
+size_t TrainingPool::size() const {
+  return buckets_[0].size() + buckets_[1].size() + buckets_[2].size();
+}
+
+size_t TrainingPool::bucket_size(int bucket) const {
+  STAGE_CHECK(bucket >= 0 && bucket < 3);
+  return buckets_[bucket].size();
+}
+
+size_t TrainingPool::CountAtLeast(double exec_seconds) const {
+  size_t count = 0;
+  for (const auto& queue : buckets_) {
+    for (const Example& example : queue) {
+      count += example.exec_seconds >= exec_seconds ? 1 : 0;
+    }
+  }
+  return count;
+}
+
+gbt::Dataset TrainingPool::BuildDataset(bool log_target) const {
+  gbt::Dataset data(plan::kPlanFeatureDim);
+  data.Reserve(size());
+  for (const auto& queue : buckets_) {
+    for (const Example& example : queue) {
+      const double label =
+          log_target ? std::log1p(example.exec_seconds) : example.exec_seconds;
+      data.AddRow(example.features.data(), label);
+    }
+  }
+  return data;
+}
+
+}  // namespace stage::local

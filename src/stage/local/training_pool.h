@@ -1,0 +1,67 @@
+#ifndef STAGE_LOCAL_TRAINING_POOL_H_
+#define STAGE_LOCAL_TRAINING_POOL_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "stage/gbt/dataset.h"
+#include "stage/plan/featurizer.h"
+
+namespace stage::local {
+
+// Pool knobs (§4.3 "Local model training optimization"). The booleans exist
+// for the ablation benches; production behaviour is all-on.
+struct TrainingPoolConfig {
+  size_t capacity = 2000;
+  // Duration-diversity buckets over observed exec-time with per-bucket
+  // caps, so short queries cannot crowd out the (rarer, more important)
+  // long ones. Paper example buckets: 0-10s, 10-60s, 60s+.
+  std::array<double, 2> bucket_bounds_seconds = {10.0, 60.0};
+  std::array<double, 3> bucket_fractions = {0.6, 0.25, 0.15};
+  bool duration_buckets = true;
+  // Deduplication of repeats is driven by the exec-time cache: the caller
+  // only Adds queries that MISSED the cache. This flag is only consulted by
+  // ablation code paths that bypass that protocol.
+  bool unbounded = false;  // Ablation: no eviction at all (issue 1).
+};
+
+// The bounded, duration-diverse pool of executed queries that feeds the
+// local model. Eviction is oldest-first within each duration bucket.
+class TrainingPool {
+ public:
+  explicit TrainingPool(const TrainingPoolConfig& config);
+
+  // Records one executed query (feature vector + observed exec-time).
+  void Add(const plan::PlanFeatures& features, double exec_seconds);
+
+  size_t size() const;
+  size_t bucket_size(int bucket) const;
+  // Number of pooled examples with exec-time >= threshold (diagnostics).
+  size_t CountAtLeast(double exec_seconds) const;
+
+  // Materializes a GBT dataset; `labels` are produced by applying
+  // log-space compression when `log_target` is true (log1p seconds).
+  gbt::Dataset BuildDataset(bool log_target = true) const;
+
+  // Total observations ever offered (including later-evicted ones).
+  uint64_t total_added() const { return total_added_; }
+
+ private:
+  struct Example {
+    plan::PlanFeatures features;
+    double exec_seconds;
+  };
+
+  int BucketOf(double exec_seconds) const;
+  size_t BucketCap(int bucket) const;
+
+  TrainingPoolConfig config_;
+  std::array<std::deque<Example>, 3> buckets_;
+  uint64_t total_added_ = 0;
+};
+
+}  // namespace stage::local
+
+#endif  // STAGE_LOCAL_TRAINING_POOL_H_

@@ -1,0 +1,83 @@
+#include "stage/metrics/error_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stage/common/macros.h"
+#include "stage/common/stats.h"
+
+namespace stage::metrics {
+
+std::vector<double> AbsoluteErrors(const std::vector<double>& actual,
+                                   const std::vector<double>& predicted) {
+  STAGE_CHECK(actual.size() == predicted.size());
+  std::vector<double> errors(actual.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    errors[i] = std::abs(actual[i] - predicted[i]);
+  }
+  return errors;
+}
+
+std::vector<double> QErrors(const std::vector<double>& actual,
+                            const std::vector<double>& predicted,
+                            double floor_seconds) {
+  STAGE_CHECK(actual.size() == predicted.size());
+  STAGE_CHECK(floor_seconds > 0.0);
+  std::vector<double> errors(actual.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    const double a = std::max(actual[i], floor_seconds);
+    const double p = std::max(predicted[i], floor_seconds);
+    errors[i] = std::max(a / p, p / a);
+  }
+  return errors;
+}
+
+ErrorSummary Summarize(const std::vector<double>& errors) {
+  ErrorSummary summary;
+  summary.count = errors.size();
+  if (errors.empty()) return summary;
+  std::vector<double> sorted = errors;
+  std::sort(sorted.begin(), sorted.end());
+  summary.mean = Mean(errors);
+  summary.p50 = SortedQuantile(sorted, 0.5);
+  summary.p90 = SortedQuantile(sorted, 0.9);
+  return summary;
+}
+
+std::string BucketName(int bucket) {
+  switch (bucket) {
+    case 0: return "0s - 10s";
+    case 1: return "10s - 60s";
+    case 2: return "60s - 120s";
+    case 3: return "120s - 300s";
+    case 4: return "300s+";
+    default: break;
+  }
+  STAGE_CHECK_MSG(false, "invalid bucket");
+  return "";
+}
+
+int BucketOf(double actual_seconds) {
+  if (actual_seconds < 10.0) return 0;
+  if (actual_seconds < 60.0) return 1;
+  if (actual_seconds < 120.0) return 2;
+  if (actual_seconds < 300.0) return 3;
+  return 4;
+}
+
+BucketedSummary SummarizeByBucket(const std::vector<double>& actual,
+                                  const std::vector<double>& errors) {
+  STAGE_CHECK(actual.size() == errors.size());
+  BucketedSummary out;
+  out.overall = Summarize(errors);
+  std::vector<double> per_bucket[kNumExecTimeBuckets];
+  for (size_t i = 0; i < actual.size(); ++i) {
+    per_bucket[BucketOf(actual[i])].push_back(errors[i]);
+  }
+  for (int b = 0; b < kNumExecTimeBuckets; ++b) {
+    out.bucket[b] = Summarize(per_bucket[b]);
+  }
+  return out;
+}
+
+}  // namespace stage::metrics

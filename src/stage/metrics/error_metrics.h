@@ -1,0 +1,51 @@
+#ifndef STAGE_METRICS_ERROR_METRICS_H_
+#define STAGE_METRICS_ERROR_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace stage::metrics {
+
+// Mean / median / tail summary of a per-query error series; the shape of
+// every accuracy table in the paper (MAE, P50-AE, P90-AE and the Q-error
+// analogues).
+struct ErrorSummary {
+  size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+};
+
+// |actual - predicted| per query, in seconds (paper Tables 1, 3-6).
+std::vector<double> AbsoluteErrors(const std::vector<double>& actual,
+                                   const std::vector<double>& predicted);
+
+// Q-error = max(pred/actual, actual/pred), with both sides clamped to a
+// small positive floor so sub-millisecond times do not blow up the ratio
+// (paper Table 2, metric of [40]).
+std::vector<double> QErrors(const std::vector<double>& actual,
+                            const std::vector<double>& predicted,
+                            double floor_seconds = 1e-3);
+
+// Aggregates a raw error series.
+ErrorSummary Summarize(const std::vector<double>& errors);
+
+// The paper's exec-time buckets: 0-10s, 10-60s, 60-120s, 120-300s, 300s+.
+inline constexpr int kNumExecTimeBuckets = 5;
+std::string BucketName(int bucket);
+// Bucket index of an actual exec-time (seconds).
+int BucketOf(double actual_seconds);
+
+// One table row per bucket plus an "Overall" row, for a given error series
+// bucketed by the *actual* exec time.
+struct BucketedSummary {
+  ErrorSummary overall;
+  ErrorSummary bucket[kNumExecTimeBuckets];
+};
+BucketedSummary SummarizeByBucket(const std::vector<double>& actual,
+                                  const std::vector<double>& errors);
+
+}  // namespace stage::metrics
+
+#endif  // STAGE_METRICS_ERROR_METRICS_H_

@@ -1,0 +1,75 @@
+#include "stage/metrics/prr.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "stage/common/macros.h"
+
+namespace stage::metrics {
+
+namespace {
+
+// Cumulative fraction of total error covered when rejecting queries in the
+// order given by `ranking` (indices into abs_errors). curve[k] = fraction
+// covered after rejecting k+1 queries.
+std::vector<double> CumulativeCurve(const std::vector<double>& abs_errors,
+                                    const std::vector<size_t>& ranking,
+                                    double total_error) {
+  std::vector<double> curve(ranking.size());
+  double covered = 0.0;
+  for (size_t k = 0; k < ranking.size(); ++k) {
+    covered += abs_errors[ranking[k]];
+    curve[k] = total_error > 0.0 ? covered / total_error : 0.0;
+  }
+  return curve;
+}
+
+double Auc(const std::vector<double>& curve) {
+  double total = 0.0;
+  for (double v : curve) total += v;
+  return curve.empty() ? 0.0 : total / static_cast<double>(curve.size());
+}
+
+}  // namespace
+
+PrrCurves ComputePrrCurves(const std::vector<double>& abs_errors,
+                           const std::vector<double>& uncertainties) {
+  STAGE_CHECK(!abs_errors.empty());
+  STAGE_CHECK(abs_errors.size() == uncertainties.size());
+  const size_t n = abs_errors.size();
+  const double total =
+      std::accumulate(abs_errors.begin(), abs_errors.end(), 0.0);
+
+  std::vector<size_t> by_error(n);
+  std::iota(by_error.begin(), by_error.end(), 0);
+  std::stable_sort(by_error.begin(), by_error.end(), [&](size_t a, size_t b) {
+    return abs_errors[a] > abs_errors[b];
+  });
+
+  std::vector<size_t> by_uncertainty(n);
+  std::iota(by_uncertainty.begin(), by_uncertainty.end(), 0);
+  std::stable_sort(by_uncertainty.begin(), by_uncertainty.end(),
+                   [&](size_t a, size_t b) {
+                     return uncertainties[a] > uncertainties[b];
+                   });
+
+  PrrCurves curves;
+  curves.oracle = CumulativeCurve(abs_errors, by_error, total);
+  curves.uncertainty = CumulativeCurve(abs_errors, by_uncertainty, total);
+  curves.random.resize(n);
+  for (size_t k = 0; k < n; ++k) {
+    curves.random[k] = static_cast<double>(k + 1) / static_cast<double>(n);
+  }
+  return curves;
+}
+
+double PredictionRejectionRatio(const std::vector<double>& abs_errors,
+                                const std::vector<double>& uncertainties) {
+  const PrrCurves curves = ComputePrrCurves(abs_errors, uncertainties);
+  const double auc_oracle = Auc(curves.oracle) - Auc(curves.random);
+  const double auc_model = Auc(curves.uncertainty) - Auc(curves.random);
+  if (auc_oracle <= 1e-12) return 0.0;
+  return auc_model / auc_oracle;
+}
+
+}  // namespace stage::metrics

@@ -1,0 +1,34 @@
+#ifndef STAGE_METRICS_PRR_H_
+#define STAGE_METRICS_PRR_H_
+
+#include <vector>
+
+namespace stage::metrics {
+
+// The three cumulative-error curves behind the prediction-rejection ratio
+// plot (Fig. 10): at position k (fraction of queries rejected), the fraction
+// of total absolute error covered when rejecting the top-k queries ranked
+// by the oracle (true error), by the model's uncertainty, and at random
+// (the diagonal).
+struct PrrCurves {
+  std::vector<double> oracle;       // Ranked by true error, descending.
+  std::vector<double> uncertainty;  // Ranked by predicted uncertainty.
+  std::vector<double> random;       // Diagonal k/n.
+};
+
+// Builds the curves for a set of queries with observed absolute errors and
+// predicted uncertainties. Requires equal, non-zero lengths.
+PrrCurves ComputePrrCurves(const std::vector<double>& abs_errors,
+                           const std::vector<double>& uncertainties);
+
+// Prediction-rejection ratio ([30, 31], §5.4):
+//   PRR = AUC(uncertainty - random) / AUC(oracle - random).
+// 1.0 means uncertainty ranks queries exactly like true error; ~0 means no
+// better than random (can be slightly negative for adversarial rankings).
+// Returns 0 when the oracle AUC is degenerate (e.g. all-equal errors).
+double PredictionRejectionRatio(const std::vector<double>& abs_errors,
+                                const std::vector<double>& uncertainties);
+
+}  // namespace stage::metrics
+
+#endif  // STAGE_METRICS_PRR_H_

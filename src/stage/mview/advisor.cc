@@ -1,0 +1,157 @@
+#include "stage/mview/advisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stage/common/macros.h"
+
+namespace stage::mview {
+
+namespace {
+
+// Replays the generator's cardinality recurrence over the join prefix to
+// size the materialized result (both the optimizer's view and the hidden
+// truth, so ground-truth exec-times of rewritten plans stay consistent).
+struct PrefixCardinality {
+  double estimated = 0.0;
+  double actual = 0.0;
+  double width = 0.0;
+};
+
+PrefixCardinality ComputePrefix(const plan::PlanSpec& spec,
+                                const std::vector<plan::TableDef>& schema,
+                                int prefix_scans) {
+  PrefixCardinality prefix;
+  const auto& first = spec.scans[0];
+  prefix.estimated = schema[first.table_index].rows * first.selectivity;
+  prefix.actual = prefix.estimated * first.cardinality_error;
+  prefix.width = schema[first.table_index].width * 0.7;
+  for (int i = 1; i < prefix_scans; ++i) {
+    const auto& scan = spec.scans[i];
+    const double scan_estimated =
+        schema[scan.table_index].rows * scan.selectivity;
+    const double scan_actual = scan_estimated * scan.cardinality_error;
+    const double sel = spec.join_selectivity[i - 1];
+    prefix.estimated = std::max(prefix.estimated, scan_estimated) * sel;
+    prefix.actual = std::max(prefix.actual, scan_actual) * sel *
+                    spec.join_cardinality_error[i - 1];
+    prefix.width = std::min(
+        prefix.width + schema[scan.table_index].width * 0.7, 4000.0);
+  }
+  return prefix;
+}
+
+}  // namespace
+
+std::optional<RewrittenQuery> MaterializePrefix(
+    const ViewDefinition& view, const plan::PlanGenerator& generator,
+    int32_t view_table_id) {
+  const plan::PlanSpec& spec = view.source;
+  const int total_scans = static_cast<int>(spec.scans.size());
+  if (view.prefix_scans < 2 || view.prefix_scans > total_scans) {
+    return std::nullopt;
+  }
+  const PrefixCardinality prefix =
+      ComputePrefix(spec, generator.schema(), view.prefix_scans);
+
+  RewrittenQuery out;
+  out.view_table.id = view_table_id;
+  out.view_table.rows = std::max(1.0, prefix.estimated);
+  out.view_table.width = std::max(16.0, prefix.width / 0.7);
+  out.view_table.format = plan::S3Format::kLocal;
+
+  // Rewritten spec: one scan of the view replaces the prefix; the join
+  // suffix attaches the remaining scans as before.
+  plan::PlanSpec rewritten = spec;
+  plan::PlanSpec::ScanSpec view_scan;
+  // The view table slots in right after the original schema.
+  view_scan.table_index = static_cast<int32_t>(generator.schema().size());
+  view_scan.selectivity = 1.0;  // The view holds exactly the prefix result.
+  // Keep the hidden truth consistent: the prefix's compounded estimation
+  // error becomes the view scan's error.
+  view_scan.cardinality_error =
+      prefix.estimated > 0.0 ? prefix.actual / prefix.estimated : 1.0;
+
+  rewritten.scans.assign(spec.scans.begin() + view.prefix_scans,
+                         spec.scans.end());
+  rewritten.scans.insert(rewritten.scans.begin(), view_scan);
+  const int drop = view.prefix_scans - 1;  // Joins folded into the view.
+  rewritten.join_selectivity.assign(spec.join_selectivity.begin() + drop,
+                                    spec.join_selectivity.end());
+  rewritten.join_cardinality_error.assign(
+      spec.join_cardinality_error.begin() + drop,
+      spec.join_cardinality_error.end());
+  rewritten.join_strategy.assign(spec.join_strategy.begin() + drop,
+                                 spec.join_strategy.end());
+  rewritten.join_materialized.assign(spec.join_materialized.begin() + drop,
+                                     spec.join_materialized.end());
+  out.rewritten = std::move(rewritten);
+  return out;
+}
+
+ViewRecommendation ScoreView(const ViewDefinition& view,
+                             const plan::PlanGenerator& generator,
+                             const global::GlobalModel& model,
+                             const fleet::InstanceConfig& instance,
+                             double executions_per_day,
+                             const AdvisorConfig& config) {
+  ViewRecommendation recommendation;
+  recommendation.view = view;
+  recommendation.executions_per_day = executions_per_day;
+
+  const auto rewritten = MaterializePrefix(
+      view, generator, static_cast<int32_t>(generator.schema().size()));
+  STAGE_CHECK_MSG(rewritten.has_value(), "invalid view prefix");
+
+  // Hypothetical plans have no execution history, so only the global model
+  // can price them (§2.1's "as if the view exists" evaluation).
+  const plan::Plan before = generator.Instantiate(view.source);
+  recommendation.predicted_seconds_before =
+      model.PredictSeconds(before, instance, 0);
+
+  // Instantiate the rewritten spec against the schema extended with the
+  // view table.
+  std::vector<plan::TableDef> extended = generator.schema();
+  extended.push_back(rewritten->view_table);
+  const plan::PlanGenerator extended_generator(std::move(extended),
+                                               generator.config());
+  const plan::Plan after = extended_generator.Instantiate(rewritten->rewritten);
+  recommendation.predicted_seconds_after =
+      model.PredictSeconds(after, instance, 0);
+
+  const double saving_per_execution =
+      recommendation.predicted_seconds_before -
+      recommendation.predicted_seconds_after;
+  recommendation.predicted_daily_benefit_seconds =
+      saving_per_execution * executions_per_day * config.safety_margin;
+  return recommendation;
+}
+
+std::vector<ViewRecommendation> RecommendViews(
+    const std::vector<plan::PlanSpec>& templates,
+    const std::vector<double>& executions_per_day,
+    const plan::PlanGenerator& generator, const global::GlobalModel& model,
+    const fleet::InstanceConfig& instance, const AdvisorConfig& config) {
+  STAGE_CHECK(templates.size() == executions_per_day.size());
+  std::vector<ViewRecommendation> recommendations;
+  for (size_t t = 0; t < templates.size(); ++t) {
+    const int scans = static_cast<int>(templates[t].scans.size());
+    if (scans < config.min_prefix_scans) continue;
+    ViewDefinition view;
+    view.source = templates[t];
+    view.prefix_scans = scans;  // Maximal prefix: the whole join tree.
+    const ViewRecommendation recommendation = ScoreView(
+        view, generator, model, instance, executions_per_day[t], config);
+    if (recommendation.predicted_daily_benefit_seconds > 0.0) {
+      recommendations.push_back(recommendation);
+    }
+  }
+  std::sort(recommendations.begin(), recommendations.end(),
+            [](const ViewRecommendation& a, const ViewRecommendation& b) {
+              return a.predicted_daily_benefit_seconds >
+                     b.predicted_daily_benefit_seconds;
+            });
+  return recommendations;
+}
+
+}  // namespace stage::mview

@@ -1,0 +1,85 @@
+#ifndef STAGE_MVIEW_ADVISOR_H_
+#define STAGE_MVIEW_ADVISOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "stage/fleet/instance.h"
+#include "stage/global/global_model.h"
+#include "stage/plan/generator.h"
+
+namespace stage::mview {
+
+// Automatic materialized-view creation is the paper's flagship non-critical
+// downstream task (§2.1): "regenerate queries' execution plans as if a
+// certain materialized view exists and then use the exec-time predictor to
+// estimate the performance of these plans to determine the benefit of
+// building such a view". This module implements that loop against the
+// synthetic substrate: candidate views are join prefixes of recurring
+// query templates, hypothetical plans are built by rewriting specs to scan
+// the materialized result, and the (never-executed) hypothetical plans are
+// priced by the global model — the only stage that can score plans with no
+// execution history.
+
+// A candidate view: the first `prefix_scans` scans (and the joins between
+// them) of a template.
+struct ViewDefinition {
+  plan::PlanSpec source;   // The template the prefix is cut from.
+  int prefix_scans = 2;    // >= 2 (a 1-scan prefix is just the base table).
+};
+
+// The materialized result as a table, plus the template rewritten to scan
+// it instead of recomputing the join prefix.
+struct RewrittenQuery {
+  plan::TableDef view_table;
+  plan::PlanSpec rewritten;
+};
+
+// Builds the materialized table (row count = the optimizer's estimate of
+// the prefix join's output, width = combined tuple width) and rewrites the
+// spec. Returns nullopt when the prefix is out of range.
+std::optional<RewrittenQuery> MaterializePrefix(const ViewDefinition& view,
+                                                const plan::PlanGenerator& generator,
+                                                int32_t view_table_id);
+
+// One scored recommendation.
+struct ViewRecommendation {
+  ViewDefinition view;
+  double predicted_seconds_before = 0.0;
+  double predicted_seconds_after = 0.0;
+  double executions_per_day = 0.0;
+  // Predicted saving per day of workload, discounted by `safety_margin`
+  // for worst-case behavior (the paper's motivation for confidence-aware
+  // decisions).
+  double predicted_daily_benefit_seconds = 0.0;
+};
+
+struct AdvisorConfig {
+  int min_prefix_scans = 2;
+  // Fraction of the predicted per-execution saving credited (a crude
+  // worst-case discount standing in for a full confidence interval on the
+  // hypothetical plan).
+  double safety_margin = 0.7;
+};
+
+// Scores a view candidate for one template: prices the original and the
+// rewritten plan with the global model on the given instance and
+// extrapolates by the template's execution frequency.
+ViewRecommendation ScoreView(const ViewDefinition& view,
+                             const plan::PlanGenerator& generator,
+                             const global::GlobalModel& model,
+                             const fleet::InstanceConfig& instance,
+                             double executions_per_day,
+                             const AdvisorConfig& config);
+
+// Full advisor pass: tries the maximal join prefix of every template and
+// returns recommendations with positive predicted benefit, best first.
+std::vector<ViewRecommendation> RecommendViews(
+    const std::vector<plan::PlanSpec>& templates,
+    const std::vector<double>& executions_per_day,
+    const plan::PlanGenerator& generator, const global::GlobalModel& model,
+    const fleet::InstanceConfig& instance, const AdvisorConfig& config);
+
+}  // namespace stage::mview
+
+#endif  // STAGE_MVIEW_ADVISOR_H_

@@ -1,0 +1,80 @@
+#include "stage/nn/linear.h"
+
+#include <cmath>
+
+#include "stage/common/macros.h"
+#include "stage/common/serialize.h"
+
+namespace stage::nn {
+
+void Linear::Init(int in_dim, int out_dim, Rng& rng) {
+  STAGE_CHECK(in_dim > 0 && out_dim > 0);
+  in_dim_ = in_dim;
+  out_dim_ = out_dim;
+  // Kaiming-uniform-ish scale for ReLU networks.
+  const float scale = std::sqrt(6.0f / static_cast<float>(in_dim));
+  w_.Init(static_cast<size_t>(in_dim) * out_dim, scale, rng);
+  b_.Init(out_dim, 0.0f, rng);
+}
+
+void Linear::Forward(const float* x, float* y) const {
+  const float* w = w_.data();
+  const float* b = b_.data();
+  for (int o = 0; o < out_dim_; ++o) {
+    const float* row = w + static_cast<size_t>(o) * in_dim_;
+    float acc = b[o];
+    for (int i = 0; i < in_dim_; ++i) acc += row[i] * x[i];
+    y[o] = acc;
+  }
+}
+
+void Linear::Backward(const float* x, const float* dy, float* dx) {
+  float* wg = w_.grad();
+  float* bg = b_.grad();
+  const float* w = w_.data();
+  for (int o = 0; o < out_dim_; ++o) {
+    const float g = dy[o];
+    if (g == 0.0f) continue;
+    float* wg_row = wg + static_cast<size_t>(o) * in_dim_;
+    const float* w_row = w + static_cast<size_t>(o) * in_dim_;
+    bg[o] += g;
+    for (int i = 0; i < in_dim_; ++i) {
+      wg_row[i] += g * x[i];
+      if (dx != nullptr) dx[i] += g * w_row[i];
+    }
+  }
+}
+
+void Linear::ZeroGrad() {
+  w_.ZeroGrad();
+  b_.ZeroGrad();
+}
+
+void Linear::Step(const AdamConfig& config, double grad_divisor) {
+  w_.Step(config, grad_divisor);
+  b_.Step(config, grad_divisor);
+}
+
+void Linear::Save(std::ostream& out) const {
+  WritePod<int32_t>(out, in_dim_);
+  WritePod<int32_t>(out, out_dim_);
+  w_.Save(out);
+  b_.Save(out);
+}
+
+bool Linear::Load(std::istream& in) {
+  int32_t in_dim = 0;
+  int32_t out_dim = 0;
+  if (!ReadPod(in, &in_dim) || !ReadPod(in, &out_dim)) return false;
+  if (in_dim <= 0 || out_dim <= 0) return false;
+  if (!w_.Load(in) || !b_.Load(in)) return false;
+  if (w_.size() != static_cast<size_t>(in_dim) * out_dim ||
+      b_.size() != static_cast<size_t>(out_dim)) {
+    return false;
+  }
+  in_dim_ = in_dim;
+  out_dim_ = out_dim;
+  return true;
+}
+
+}  // namespace stage::nn

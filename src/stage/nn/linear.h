@@ -1,0 +1,46 @@
+#ifndef STAGE_NN_LINEAR_H_
+#define STAGE_NN_LINEAR_H_
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "stage/common/rng.h"
+#include "stage/nn/param.h"
+
+namespace stage::nn {
+
+// A fully connected layer y = W x + b with manual backward. Gradients are
+// accumulated into the Params; callers drive ZeroGrad/Step around batches.
+class Linear {
+ public:
+  Linear() = default;
+
+  void Init(int in_dim, int out_dim, Rng& rng);
+
+  int in_dim() const { return in_dim_; }
+  int out_dim() const { return out_dim_; }
+
+  // y (out_dim) = W x (in_dim) + b.
+  void Forward(const float* x, float* y) const;
+
+  // Accumulates parameter gradients from (x, dy) and, when dx != nullptr,
+  // adds W^T dy into dx (dx must be pre-initialized by the caller).
+  void Backward(const float* x, const float* dy, float* dx);
+
+  void ZeroGrad();
+  void Step(const AdamConfig& config, double grad_divisor);
+  void Save(std::ostream& out) const;
+  bool Load(std::istream& in);
+  size_t MemoryBytes() const { return w_.MemoryBytes() + b_.MemoryBytes(); }
+
+ private:
+  int in_dim_ = 0;
+  int out_dim_ = 0;
+  Param w_;  // Row-major [out_dim x in_dim].
+  Param b_;  // [out_dim].
+};
+
+}  // namespace stage::nn
+
+#endif  // STAGE_NN_LINEAR_H_

@@ -1,0 +1,117 @@
+#include "stage/nn/mlp.h"
+
+#include "stage/common/macros.h"
+#include "stage/common/serialize.h"
+
+namespace stage::nn {
+
+void Mlp::Init(const std::vector<int>& dims, Rng& rng) {
+  STAGE_CHECK(dims.size() >= 2);
+  dims_ = dims;
+  layers_.resize(dims.size() - 1);
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l].Init(dims[l], dims[l + 1], rng);
+  }
+}
+
+const float* Mlp::Forward(const float* x, Workspace* ws, bool train,
+                          float dropout, Rng* rng) const {
+  STAGE_CHECK(ws != nullptr);
+  const size_t num_layers = layers_.size();
+  ws->acts.resize(num_layers + 1);
+  ws->masks.assign(num_layers, {});
+  ws->acts[0].assign(x, x + dims_[0]);
+
+  for (size_t l = 0; l < num_layers; ++l) {
+    ws->acts[l + 1].resize(dims_[l + 1]);
+    layers_[l].Forward(ws->acts[l].data(), ws->acts[l + 1].data());
+    const bool hidden = l + 1 < num_layers;
+    if (!hidden) break;
+    std::vector<float>& act = ws->acts[l + 1];
+    for (float& a : act) {
+      if (a < 0.0f) a = 0.0f;  // ReLU.
+    }
+    if (train && dropout > 0.0f) {
+      STAGE_CHECK(rng != nullptr);
+      const float scale = 1.0f / (1.0f - dropout);
+      std::vector<float>& mask = ws->masks[l];
+      mask.resize(act.size());
+      for (size_t i = 0; i < act.size(); ++i) {
+        mask[i] = rng->NextBernoulli(dropout) ? 0.0f : scale;
+        act[i] *= mask[i];
+      }
+    }
+  }
+  return ws->acts.back().data();
+}
+
+void Mlp::Backward(const float* dout, Workspace& ws, float* dx) {
+  const size_t num_layers = layers_.size();
+  STAGE_CHECK(ws.acts.size() == num_layers + 1);
+
+  std::vector<float> delta(dout, dout + dims_.back());
+  std::vector<float> dprev;
+  for (size_t l = num_layers; l-- > 0;) {
+    dprev.assign(dims_[l], 0.0f);
+    layers_[l].Backward(ws.acts[l].data(), delta.data(), dprev.data());
+    if (l > 0) {
+      // Backprop through the hidden ReLU (+ dropout) of layer l-1. A zero
+      // activation means either ReLU cut it or dropout dropped it; both
+      // zero the gradient. A surviving dropout unit re-applies its scale.
+      const std::vector<float>& act = ws.acts[l];
+      const std::vector<float>& mask = ws.masks[l - 1];
+      for (int i = 0; i < dims_[l]; ++i) {
+        if (act[i] <= 0.0f) {
+          dprev[i] = 0.0f;
+        } else if (!mask.empty()) {
+          dprev[i] *= mask[i];  // mask holds 0 or the inverted-dropout scale.
+        }
+      }
+    }
+    delta = dprev;
+  }
+  if (dx != nullptr) {
+    for (int i = 0; i < dims_[0]; ++i) dx[i] += delta[i];
+  }
+}
+
+void Mlp::ZeroGrad() {
+  for (Linear& layer : layers_) layer.ZeroGrad();
+}
+
+void Mlp::Step(const AdamConfig& config, double grad_divisor) {
+  for (Linear& layer : layers_) layer.Step(config, grad_divisor);
+}
+
+size_t Mlp::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const Linear& layer : layers_) bytes += layer.MemoryBytes();
+  return bytes;
+}
+
+void Mlp::Save(std::ostream& out) const {
+  WriteVector(out, std::vector<int32_t>(dims_.begin(), dims_.end()));
+  for (const Linear& layer : layers_) layer.Save(out);
+}
+
+bool Mlp::Load(std::istream& in) {
+  std::vector<int32_t> dims;
+  if (!ReadVector(in, &dims) || dims.size() < 2) return false;
+  for (int32_t d : dims) {
+    if (d <= 0) return false;
+  }
+  dims_.assign(dims.begin(), dims.end());
+  layers_.assign(dims_.size() - 1, Linear());
+  for (Linear& layer : layers_) {
+    if (!layer.Load(in)) return false;
+  }
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    if (layers_[l].in_dim() != dims_[l] ||
+        layers_[l].out_dim() != dims_[l + 1]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace stage::nn

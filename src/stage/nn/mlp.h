@@ -1,0 +1,56 @@
+#ifndef STAGE_NN_MLP_H_
+#define STAGE_NN_MLP_H_
+
+#include <vector>
+
+#include "stage/common/rng.h"
+#include "stage/nn/linear.h"
+
+namespace stage::nn {
+
+// A multi-layer perceptron with ReLU activations between layers (linear
+// output) and optional dropout on hidden activations during training.
+class Mlp {
+ public:
+  // Scratch space holding the forward activations one example needs for its
+  // backward pass. Owned by the caller so Mlp stays re-entrant.
+  struct Workspace {
+    // acts[0] is the input copy; acts[l+1] the output of layer l (post
+    // ReLU/dropout for hidden layers).
+    std::vector<std::vector<float>> acts;
+    // Dropout multipliers per hidden layer (empty in eval mode).
+    std::vector<std::vector<float>> masks;
+  };
+
+  Mlp() = default;
+
+  // dims = {input, hidden..., output}; at least one layer (2 entries).
+  void Init(const std::vector<int>& dims, Rng& rng);
+
+  int in_dim() const { return dims_.front(); }
+  int out_dim() const { return dims_.back(); }
+
+  // Runs the network. In train mode, applies dropout with probability
+  // `dropout` to hidden activations using `rng` (both may be omitted in
+  // eval mode). Returns a pointer to the output inside `ws`.
+  const float* Forward(const float* x, Workspace* ws, bool train = false,
+                       float dropout = 0.0f, Rng* rng = nullptr) const;
+
+  // Accumulates parameter gradients given dL/d(output); requires the `ws`
+  // from the matching Forward call. If dx != nullptr, adds dL/d(input).
+  void Backward(const float* dout, Workspace& ws, float* dx);
+
+  void ZeroGrad();
+  void Step(const AdamConfig& config, double grad_divisor);
+  size_t MemoryBytes() const;
+  void Save(std::ostream& out) const;
+  bool Load(std::istream& in);
+
+ private:
+  std::vector<int> dims_;
+  std::vector<Linear> layers_;
+};
+
+}  // namespace stage::nn
+
+#endif  // STAGE_NN_MLP_H_

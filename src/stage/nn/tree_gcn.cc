@@ -1,0 +1,194 @@
+#include "stage/nn/tree_gcn.h"
+
+#include "stage/common/macros.h"
+#include "stage/common/serialize.h"
+
+namespace stage::nn {
+
+void TreeGcn::Init(const Config& config, Rng& rng) {
+  STAGE_CHECK(config.input_dim > 0);
+  STAGE_CHECK(config.hidden_dim > 0);
+  STAGE_CHECK(config.num_layers >= 1);
+  STAGE_CHECK(config.dropout >= 0.0f && config.dropout < 1.0f);
+  config_ = config;
+  self_.resize(config.num_layers);
+  child_.resize(config.num_layers);
+  for (int l = 0; l < config.num_layers; ++l) {
+    self_[l].Init(LayerInDim(l), config.hidden_dim, rng);
+    child_[l].Init(LayerInDim(l), config.hidden_dim, rng);
+  }
+}
+
+const float* TreeGcn::Forward(
+    const float* node_features, int num_nodes,
+    const std::vector<std::vector<int32_t>>& children, Workspace* ws,
+    bool train, Rng* rng) const {
+  STAGE_CHECK(ws != nullptr);
+  STAGE_CHECK(num_nodes > 0);
+  STAGE_CHECK(static_cast<int>(children.size()) == num_nodes);
+  const int num_layers = config_.num_layers;
+  const int h = config_.hidden_dim;
+
+  ws->num_nodes = num_nodes;
+  ws->acts.resize(num_layers + 1);
+  ws->aggs.resize(num_layers);
+  ws->masks.assign(num_layers, {});
+  ws->acts[0].assign(node_features,
+                     node_features + static_cast<size_t>(num_nodes) *
+                                         config_.input_dim);
+
+  std::vector<float> z(h);
+  std::vector<float> child_part(h);
+  for (int l = 0; l < num_layers; ++l) {
+    const int in_dim = LayerInDim(l);
+    const std::vector<float>& in = ws->acts[l];
+    ws->aggs[l].assign(static_cast<size_t>(num_nodes) * in_dim, 0.0f);
+    ws->acts[l + 1].resize(static_cast<size_t>(num_nodes) * h);
+    if (train && config_.dropout > 0.0f) {
+      STAGE_CHECK(rng != nullptr);
+      ws->masks[l].resize(static_cast<size_t>(num_nodes) * h);
+    }
+
+    for (int i = 0; i < num_nodes; ++i) {
+      // Mean of children features from the previous layer.
+      float* agg = &ws->aggs[l][static_cast<size_t>(i) * in_dim];
+      if (!children[i].empty()) {
+        const float inv =
+            1.0f / static_cast<float>(children[i].size());
+        for (int32_t c : children[i]) {
+          const float* cf = &in[static_cast<size_t>(c) * in_dim];
+          for (int j = 0; j < in_dim; ++j) agg[j] += cf[j];
+        }
+        for (int j = 0; j < in_dim; ++j) agg[j] *= inv;
+      }
+
+      self_[l].Forward(&in[static_cast<size_t>(i) * in_dim], z.data());
+      child_[l].Forward(agg, child_part.data());
+      float* out = &ws->acts[l + 1][static_cast<size_t>(i) * h];
+      for (int j = 0; j < h; ++j) {
+        float v = z[j] + child_part[j];
+        v = v > 0.0f ? v : 0.0f;  // ReLU.
+        if (!ws->masks[l].empty()) {
+          const float scale = 1.0f / (1.0f - config_.dropout);
+          const float mask =
+              rng->NextBernoulli(config_.dropout) ? 0.0f : scale;
+          ws->masks[l][static_cast<size_t>(i) * h + j] = mask;
+          v *= mask;
+        }
+        out[j] = v;
+      }
+    }
+  }
+  return &ws->acts[num_layers][0];  // Root is node 0.
+}
+
+void TreeGcn::Backward(const float* droot,
+                       const std::vector<std::vector<int32_t>>& children,
+                       Workspace& ws) {
+  const int num_layers = config_.num_layers;
+  const int h = config_.hidden_dim;
+  const int n = ws.num_nodes;
+  STAGE_CHECK(static_cast<int>(children.size()) == n);
+  STAGE_CHECK(static_cast<int>(ws.acts.size()) == num_layers + 1);
+
+  // dL/d acts[num_layers]: only the root receives an external gradient.
+  std::vector<float> dcur(static_cast<size_t>(n) * h, 0.0f);
+  for (int j = 0; j < h; ++j) dcur[j] = droot[j];
+
+  std::vector<float> dz(h);
+  std::vector<float> dagg;
+  std::vector<float> dprev;
+  for (int l = num_layers; l-- > 0;) {
+    const int in_dim = LayerInDim(l);
+    dprev.assign(static_cast<size_t>(n) * in_dim, 0.0f);
+    const std::vector<float>& act_out = ws.acts[l + 1];
+    const std::vector<float>& mask = ws.masks[l];
+    for (int i = 0; i < n; ++i) {
+      // Through dropout + ReLU.
+      bool any = false;
+      for (int j = 0; j < h; ++j) {
+        const size_t idx = static_cast<size_t>(i) * h + j;
+        float g = dcur[idx];
+        if (act_out[idx] <= 0.0f) {
+          g = 0.0f;  // ReLU cut it or dropout dropped it.
+        } else if (!mask.empty()) {
+          g *= mask[idx];
+        }
+        dz[j] = g;
+        any = any || g != 0.0f;
+      }
+      if (!any) continue;
+
+      float* dself = &dprev[static_cast<size_t>(i) * in_dim];
+      self_[l].Backward(&ws.acts[l][static_cast<size_t>(i) * in_dim],
+                        dz.data(), dself);
+      dagg.assign(in_dim, 0.0f);
+      child_[l].Backward(&ws.aggs[l][static_cast<size_t>(i) * in_dim],
+                         dz.data(), dagg.data());
+      if (!children[i].empty()) {
+        const float inv = 1.0f / static_cast<float>(children[i].size());
+        for (int32_t c : children[i]) {
+          float* dchild = &dprev[static_cast<size_t>(c) * in_dim];
+          for (int j = 0; j < in_dim; ++j) dchild[j] += dagg[j] * inv;
+        }
+      }
+    }
+    dcur = dprev;
+  }
+}
+
+void TreeGcn::ZeroGrad() {
+  for (Linear& layer : self_) layer.ZeroGrad();
+  for (Linear& layer : child_) layer.ZeroGrad();
+}
+
+void TreeGcn::Step(const AdamConfig& config, double grad_divisor) {
+  for (Linear& layer : self_) layer.Step(config, grad_divisor);
+  for (Linear& layer : child_) layer.Step(config, grad_divisor);
+}
+
+size_t TreeGcn::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const Linear& layer : self_) bytes += layer.MemoryBytes();
+  for (const Linear& layer : child_) bytes += layer.MemoryBytes();
+  return bytes;
+}
+
+void TreeGcn::Save(std::ostream& out) const {
+  WritePod<int32_t>(out, config_.input_dim);
+  WritePod<int32_t>(out, config_.hidden_dim);
+  WritePod<int32_t>(out, config_.num_layers);
+  WritePod<float>(out, config_.dropout);
+  for (const Linear& layer : self_) layer.Save(out);
+  for (const Linear& layer : child_) layer.Save(out);
+}
+
+bool TreeGcn::Load(std::istream& in) {
+  Config config;
+  int32_t input_dim = 0;
+  int32_t hidden_dim = 0;
+  int32_t num_layers = 0;
+  if (!ReadPod(in, &input_dim) || !ReadPod(in, &hidden_dim) ||
+      !ReadPod(in, &num_layers) || !ReadPod(in, &config.dropout)) {
+    return false;
+  }
+  if (input_dim <= 0 || hidden_dim <= 0 || num_layers <= 0 ||
+      num_layers > 256) {
+    return false;
+  }
+  config.input_dim = input_dim;
+  config.hidden_dim = hidden_dim;
+  config.num_layers = num_layers;
+  config_ = config;
+  self_.assign(num_layers, Linear());
+  child_.assign(num_layers, Linear());
+  for (Linear& layer : self_) {
+    if (!layer.Load(in)) return false;
+  }
+  for (Linear& layer : child_) {
+    if (!layer.Load(in)) return false;
+  }
+  return true;
+}
+
+}  // namespace stage::nn

@@ -1,0 +1,76 @@
+#ifndef STAGE_NN_TREE_GCN_H_
+#define STAGE_NN_TREE_GCN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stage/common/rng.h"
+#include "stage/nn/linear.h"
+
+namespace stage::nn {
+
+// A directed graph-convolution network over a tree, the architecture of the
+// paper's global model (§4.4): at every layer each node combines its own
+// features with the mean of its children's features through two learned
+// linear maps, followed by ReLU (and dropout in training). After L layers
+// the root's representation summarizes the whole plan.
+class TreeGcn {
+ public:
+  struct Config {
+    int input_dim = 0;
+    int hidden_dim = 64;
+    int num_layers = 3;
+    float dropout = 0.2f;
+  };
+
+  // Per-example scratch: activations for every layer, dropout masks, and
+  // child aggregates, kept for the backward pass.
+  struct Workspace {
+    // acts[l]: layer-l features, row-major [n x dim_l] where dim_0 =
+    // input_dim and dim_{l>0} = hidden_dim.
+    std::vector<std::vector<float>> acts;
+    // aggs[l]: mean-of-children inputs to layer l, [n x dim_l].
+    std::vector<std::vector<float>> aggs;
+    // masks[l]: dropout multipliers for layer l outputs (empty in eval).
+    std::vector<std::vector<float>> masks;
+    int num_nodes = 0;
+  };
+
+  TreeGcn() = default;
+
+  void Init(const Config& config, Rng& rng);
+
+  int hidden_dim() const { return config_.hidden_dim; }
+
+  // Runs message passing over a tree given per-node input features
+  // (row-major [n x input_dim]) and each node's children indices.
+  // Returns a pointer to the root (node 0) representation inside `ws`.
+  const float* Forward(const float* node_features, int num_nodes,
+                       const std::vector<std::vector<int32_t>>& children,
+                       Workspace* ws, bool train = false,
+                       Rng* rng = nullptr) const;
+
+  // Accumulates parameter gradients given dL/d(root representation).
+  void Backward(const float* droot,
+                const std::vector<std::vector<int32_t>>& children,
+                Workspace& ws);
+
+  void ZeroGrad();
+  void Step(const AdamConfig& config, double grad_divisor);
+  size_t MemoryBytes() const;
+  void Save(std::ostream& out) const;
+  bool Load(std::istream& in);
+
+ private:
+  int LayerInDim(int layer) const {
+    return layer == 0 ? config_.input_dim : config_.hidden_dim;
+  }
+
+  Config config_;
+  std::vector<Linear> self_;   // One per layer: transforms the node itself.
+  std::vector<Linear> child_;  // One per layer: transforms the child mean.
+};
+
+}  // namespace stage::nn
+
+#endif  // STAGE_NN_TREE_GCN_H_

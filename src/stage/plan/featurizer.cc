@@ -1,0 +1,83 @@
+#include "stage/plan/featurizer.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "stage/common/macros.h"
+
+namespace stage::plan {
+
+namespace {
+
+float Log1p(double v) { return static_cast<float>(std::log1p(v < 0 ? 0 : v)); }
+
+}  // namespace
+
+PlanFeatures FlattenPlan(const Plan& plan) {
+  STAGE_CHECK(!plan.empty());
+  constexpr int kNumGroups = static_cast<int>(OperatorGroup::kNumGroups);
+  static_assert(kPlanFeatureDim ==
+                    2 * kNumGroups + 3 +
+                        static_cast<int>(QueryType::kNumQueryTypes),
+                "feature layout must add up to 33");
+
+  double group_cost[kNumGroups] = {};
+  double group_card[kNumGroups] = {};
+  double max_width = 0.0;
+  for (const PlanNode& node : plan.nodes()) {
+    const int group = static_cast<int>(GroupOf(node.op));
+    group_cost[group] += node.estimated_cost;
+    group_card[group] += node.estimated_cardinality;
+    if (node.tuple_width > max_width) max_width = node.tuple_width;
+  }
+
+  PlanFeatures features{};
+  for (int g = 0; g < kNumGroups; ++g) {
+    features[2 * g] = Log1p(group_cost[g]);
+    features[2 * g + 1] = Log1p(group_card[g]);
+  }
+  features[2 * kNumGroups] = static_cast<float>(plan.node_count());
+  features[2 * kNumGroups + 1] = static_cast<float>(plan.Depth());
+  features[2 * kNumGroups + 2] = Log1p(max_width);
+  features[2 * kNumGroups + 3 + static_cast<int>(plan.query_type())] = 1.0f;
+  return features;
+}
+
+uint64_t HashFeatures(const PlanFeatures& features) {
+  // FNV-1a over the raw float bytes. Identical plans produce bit-identical
+  // feature vectors (the generator and optimizer estimates are
+  // deterministic), so byte hashing is exact. The paper observed zero
+  // collisions across the top-200 fleet instances with this scheme.
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (float f : features) {
+    uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    for (int shift = 0; shift < 32; shift += 8) {
+      hash ^= (bits >> shift) & 0xffu;
+      hash *= 0x100000001b3ULL;
+    }
+  }
+  return hash;
+}
+
+std::vector<float> NodeFeatures(const Plan& plan) {
+  STAGE_CHECK(!plan.empty());
+  constexpr int kFormatSlots = static_cast<int>(S3Format::kNumFormats);
+  std::vector<float> features(
+      static_cast<size_t>(plan.node_count()) * kNodeFeatureDim, 0.0f);
+  for (int i = 0; i < plan.node_count(); ++i) {
+    const PlanNode& node = plan.node(i);
+    float* row = features.data() + static_cast<size_t>(i) * kNodeFeatureDim;
+    const int op_slot = static_cast<int>(node.op);
+    STAGE_DCHECK(op_slot < kOperatorOneHotSlots);
+    row[op_slot] = 1.0f;
+    row[kOperatorOneHotSlots + 0] = Log1p(node.estimated_cost);
+    row[kOperatorOneHotSlots + 1] = Log1p(node.estimated_cardinality);
+    row[kOperatorOneHotSlots + 2] = Log1p(node.tuple_width);
+    row[kOperatorOneHotSlots + 3 + static_cast<int>(node.s3_format)] = 1.0f;
+    row[kOperatorOneHotSlots + 3 + kFormatSlots] = Log1p(node.table_rows);
+  }
+  return features;
+}
+
+}  // namespace stage::plan

@@ -1,0 +1,47 @@
+#ifndef STAGE_PLAN_FEATURIZER_H_
+#define STAGE_PLAN_FEATURIZER_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "stage/plan/plan.h"
+
+namespace stage::plan {
+
+// Width of the flattened plan vector used by the exec-time cache, the local
+// model, and the AutoWLM baseline (the paper's 33-dimensional vector, §4.1).
+inline constexpr int kPlanFeatureDim = 33;
+
+using PlanFeatures = std::array<float, kPlanFeatureDim>;
+
+// Flattens a physical plan tree into the 33-dimensional vector of §4.2:
+// per operator group, the summed estimated cost and cardinality (log1p
+// compressed), plus plan-shape summaries and the query-type one-hot.
+//
+// Layout:
+//   [0 .. 25]  13 operator groups x (log1p sum cost, log1p sum cardinality)
+//   [26]       node count
+//   [27]       tree depth
+//   [28]       log1p(max tuple width)
+//   [29 .. 32] query-type one-hot (SELECT / INSERT / UPDATE / DELETE)
+PlanFeatures FlattenPlan(const Plan& plan);
+
+// 64-bit hash of a feature vector; the exec-time cache key (§4.2,
+// Optimization 1: store the hash instead of the full vector).
+uint64_t HashFeatures(const PlanFeatures& features);
+
+// ---- Global-model (tree GCN) featurization, §4.4 ----------------------
+
+// Per-node feature width: 90-slot operator one-hot, log1p(cost),
+// log1p(cardinality), log1p(width), S3-format one-hot, log1p(table rows).
+inline constexpr int kNodeFeatureDim =
+    kOperatorOneHotSlots + 3 + static_cast<int>(S3Format::kNumFormats) + 1;
+
+// Writes node features for every plan node, row-major
+// [node_count x kNodeFeatureDim], in plan-node order.
+std::vector<float> NodeFeatures(const Plan& plan);
+
+}  // namespace stage::plan
+
+#endif  // STAGE_PLAN_FEATURIZER_H_

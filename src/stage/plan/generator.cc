@@ -1,0 +1,392 @@
+#include "stage/plan/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stage/common/macros.h"
+
+namespace stage::plan {
+
+namespace {
+
+// Per-operator cost constants (arbitrary optimizer cost units). The exact
+// values only shape the synthetic estimates; what matters is that cost
+// correlates with work, like a real optimizer's output.
+constexpr double kScanLocalCostPerRow = 0.001;
+constexpr double kScanS3CostPerRow = 0.004;
+constexpr double kScanOutputCostPerRow = 0.002;
+constexpr double kHashCostPerRow = 0.004;
+constexpr double kJoinCostPerRow = 0.003;
+constexpr double kDistJoinFactor = 1.5;
+constexpr double kNetworkCostPerRow = 0.005;
+constexpr double kAggCostPerRow = 0.004;
+constexpr double kSortCostFactor = 0.0008;
+constexpr double kWindowCostPerRow = 0.006;
+constexpr double kDmlCostPerRow = 0.01;
+
+struct SubtreeInfo {
+  int32_t root = -1;
+  double est_card = 0.0;
+  double actual_card = 0.0;
+  double width = 0.0;
+};
+
+class PlanBuilder {
+ public:
+  PlanBuilder(const std::vector<TableDef>& schema, double actual_row_scale)
+      : schema_(schema), actual_row_scale_(actual_row_scale) {}
+
+  // Emits a node and returns its index; children are linked afterwards so
+  // the vector stays in pre-order (parents before children).
+  int32_t Emit(PlanNode node) {
+    nodes_.push_back(std::move(node));
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+
+  void Link(int32_t parent, int32_t child) {
+    nodes_[parent].children.push_back(child);
+  }
+
+  PlanNode& node(int32_t index) { return nodes_[index]; }
+
+  std::vector<PlanNode> Take() { return std::move(nodes_); }
+
+  SubtreeInfo BuildScan(const PlanSpec::ScanSpec& scan) {
+    const TableDef& table = schema_[scan.table_index];
+    PlanNode node;
+    node.op = table.format == S3Format::kLocal ? OperatorType::kSeqScanLocal
+                                               : OperatorType::kSeqScanS3;
+    node.estimated_cardinality = table.rows * scan.selectivity;
+    node.actual_cardinality =
+        node.estimated_cardinality * scan.cardinality_error * actual_row_scale_;
+    node.tuple_width = table.width * 0.7;  // Projection trims columns.
+    node.s3_format = table.format;
+    node.table_rows = table.rows;
+    node.table_id = table.id;
+    const double per_row = table.format == S3Format::kLocal
+                               ? kScanLocalCostPerRow
+                               : kScanS3CostPerRow;
+    node.estimated_cost = table.rows * per_row +
+                          node.estimated_cardinality * kScanOutputCostPerRow;
+    const int32_t index = Emit(node);
+    return {index, node.estimated_cardinality, node.actual_cardinality,
+            node.tuple_width};
+  }
+
+  // Left-deep join tree over spec.scans[0..k]. Emits the join node first
+  // (pre-order), then the probe subtree, then the build side.
+  SubtreeInfo BuildJoinTree(const PlanSpec& spec, size_t k) {
+    if (k == 0) return BuildScan(spec.scans[0]);
+    const size_t join_index = k - 1;
+    const auto strategy = spec.join_strategy[join_index];
+    using Strategy = PlanSpec::JoinStrategy;
+
+    // Optionally spool the join output (Materialize sits above the join).
+    int32_t materialize_node = -1;
+    if (spec.join_materialized[join_index]) {
+      PlanNode materialize;
+      materialize.op = OperatorType::kMaterialize;
+      materialize_node = Emit(materialize);
+    }
+
+    PlanNode join;
+    switch (strategy) {
+      case Strategy::kHashLocal: join.op = OperatorType::kHashJoinLocal; break;
+      case Strategy::kHashDistribute:
+      case Strategy::kHashBroadcast:
+        join.op = OperatorType::kHashJoinDist;
+        break;
+      case Strategy::kMerge: join.op = OperatorType::kMergeJoin; break;
+    }
+    const int32_t join_node = Emit(join);
+    if (materialize_node >= 0) Link(materialize_node, join_node);
+
+    const SubtreeInfo probe = BuildJoinTree(spec, k - 1);
+    Link(join_node, probe.root);
+
+    // Build side: [Network] -> Hash -> Scan (merge joins sort instead).
+    const SubtreeInfo scan = [&] {
+      if (strategy == Strategy::kMerge) {
+        // Merge join: sorted scan on the build side, no hash.
+        PlanNode sort;
+        sort.op = OperatorType::kSort;
+        const int32_t sort_node = Emit(sort);
+        Link(join_node, sort_node);
+        const SubtreeInfo inner = BuildScan(spec.scans[k]);
+        Link(sort_node, inner.root);
+        PlanNode& sn = node(sort_node);
+        sn.estimated_cardinality = inner.est_card;
+        sn.actual_cardinality = inner.actual_card;
+        sn.tuple_width = inner.width;
+        sn.estimated_cost =
+            inner.est_card * std::log2(inner.est_card + 2.0) * kSortCostFactor;
+        return SubtreeInfo{sort_node, inner.est_card, inner.actual_card,
+                           inner.width};
+      }
+      if (strategy == Strategy::kHashLocal) {
+        return BuildHashOverScan(spec.scans[k], join_node);
+      }
+      PlanNode network;
+      network.op = strategy == Strategy::kHashBroadcast
+                       ? OperatorType::kNetworkBroadcast
+                       : OperatorType::kNetworkDistribute;
+      const int32_t network_node = Emit(network);
+      Link(join_node, network_node);
+      const SubtreeInfo hashed = BuildHashOverScan(spec.scans[k], network_node);
+      node(network_node).estimated_cardinality = hashed.est_card;
+      node(network_node).actual_cardinality = hashed.actual_card;
+      node(network_node).tuple_width = hashed.width;
+      node(network_node).estimated_cost = hashed.est_card * kNetworkCostPerRow;
+      return SubtreeInfo{network_node, hashed.est_card, hashed.actual_card,
+                         hashed.width};
+    }();
+
+    const double sel = spec.join_selectivity[join_index];
+    const double est_out = std::max(probe.est_card, scan.est_card) * sel;
+    const double actual_out = std::max(probe.actual_card, scan.actual_card) *
+                              sel * spec.join_cardinality_error[join_index];
+    PlanNode& jn = node(join_node);
+    jn.estimated_cardinality = est_out;
+    jn.actual_cardinality = actual_out;
+    jn.tuple_width = std::min(probe.width + scan.width, 4000.0);
+    const double dist_factor =
+        strategy == Strategy::kHashLocal || strategy == Strategy::kMerge
+            ? 1.0
+            : kDistJoinFactor;
+    jn.estimated_cost =
+        (probe.est_card + scan.est_card) * kJoinCostPerRow * dist_factor;
+
+    SubtreeInfo result{join_node, est_out, actual_out, jn.tuple_width};
+    if (materialize_node >= 0) {
+      PlanNode& mn = node(materialize_node);
+      mn.estimated_cardinality = est_out;
+      mn.actual_cardinality = actual_out;
+      mn.tuple_width = jn.tuple_width;
+      mn.estimated_cost = est_out * kHashCostPerRow;
+      result.root = materialize_node;
+    }
+    return result;
+  }
+
+  SubtreeInfo BuildHashOverScan(const PlanSpec::ScanSpec& scan_spec,
+                                int32_t parent) {
+    PlanNode hash;
+    hash.op = OperatorType::kHash;
+    const int32_t hash_node = Emit(hash);
+    Link(parent, hash_node);
+    const SubtreeInfo scan = BuildScan(scan_spec);
+    Link(hash_node, scan.root);
+    PlanNode& hn = node(hash_node);
+    hn.estimated_cardinality = scan.est_card;
+    hn.actual_cardinality = scan.actual_card;
+    hn.tuple_width = scan.width;
+    hn.estimated_cost = scan.est_card * kHashCostPerRow;
+    return {hash_node, scan.est_card, scan.actual_card, scan.width};
+  }
+
+ private:
+  const std::vector<TableDef>& schema_;
+  const double actual_row_scale_;
+  std::vector<PlanNode> nodes_;
+};
+
+}  // namespace
+
+PlanGenerator::PlanGenerator(std::vector<TableDef> schema,
+                             GeneratorConfig config)
+    : schema_(std::move(schema)), config_(config) {
+  STAGE_CHECK(!schema_.empty());
+  for (const TableDef& table : schema_) {
+    STAGE_CHECK(table.rows > 0 && table.width > 0);
+    STAGE_CHECK(table.format != S3Format::kNotBaseTable);
+  }
+}
+
+PlanSpec PlanGenerator::RandomSpec(Rng& rng) const {
+  PlanSpec spec;
+
+  int joins = 0;
+  while (joins < config_.max_joins &&
+         rng.NextBernoulli(config_.join_count_decay)) {
+    ++joins;
+  }
+
+  const double log_min_sel = std::log10(config_.min_selectivity);
+  for (int i = 0; i <= joins; ++i) {
+    PlanSpec::ScanSpec scan;
+    scan.table_index = static_cast<int32_t>(rng.NextBelow(schema_.size()));
+    // Log-uniform selectivity: most filters are highly selective.
+    scan.selectivity = std::pow(10.0, rng.NextUniform(log_min_sel, 0.0));
+    scan.cardinality_error =
+        rng.NextLogNormal(0.0, config_.cardinality_error_sigma);
+    spec.scans.push_back(scan);
+  }
+  for (int i = 0; i < joins; ++i) {
+    spec.join_selectivity.push_back(rng.NextUniform(0.05, 1.2));
+    spec.join_cardinality_error.push_back(
+        rng.NextLogNormal(0.0, config_.cardinality_error_sigma));
+    constexpr PlanSpec::JoinStrategy kStrategies[] = {
+        PlanSpec::JoinStrategy::kHashLocal,
+        PlanSpec::JoinStrategy::kHashDistribute,
+        PlanSpec::JoinStrategy::kHashBroadcast,
+        PlanSpec::JoinStrategy::kMerge,
+    };
+    spec.join_strategy.push_back(
+        kStrategies[rng.NextWeighted({0.5, 0.3, 0.12, 0.08})]);
+    spec.join_materialized.push_back(rng.NextBernoulli(0.08));
+  }
+
+  if (rng.NextBernoulli(config_.prob_dml)) {
+    constexpr QueryType kDmlTypes[] = {QueryType::kInsert, QueryType::kUpdate,
+                                       QueryType::kDelete};
+    spec.query_type = kDmlTypes[rng.NextBelow(3)];
+    return spec;  // DML plans keep a bare join tree under the DML root.
+  }
+
+  spec.has_aggregate = rng.NextBernoulli(config_.prob_aggregate);
+  spec.aggregate_fraction = std::pow(10.0, rng.NextUniform(-4.0, -0.3));
+  spec.has_sort = rng.NextBernoulli(config_.prob_sort);
+  spec.has_window = rng.NextBernoulli(config_.prob_window);
+  spec.has_limit = rng.NextBernoulli(config_.prob_limit);
+  spec.limit_rows = std::pow(10.0, rng.NextUniform(1.0, 4.0));
+  return spec;
+}
+
+PlanSpec PlanGenerator::JitterParams(const PlanSpec& spec, Rng& rng,
+                                     double jitter_sigma) const {
+  PlanSpec jittered = spec;
+  for (auto& scan : jittered.scans) {
+    scan.selectivity = std::clamp(
+        scan.selectivity * rng.NextLogNormal(0.0, jitter_sigma),
+        config_.min_selectivity, 1.0);
+  }
+  for (auto& sel : jittered.join_selectivity) {
+    sel = std::clamp(sel * rng.NextLogNormal(0.0, jitter_sigma * 0.5), 0.01,
+                     1.5);
+  }
+  return jittered;
+}
+
+PlanSpec PlanGenerator::MutateTemplate(const PlanSpec& spec, Rng& rng,
+                                       double jitter_sigma) const {
+  PlanSpec mutated = JitterParams(spec, rng, jitter_sigma);
+  for (auto& scan : mutated.scans) {
+    scan.cardinality_error =
+        rng.NextLogNormal(0.0, config_.cardinality_error_sigma);
+  }
+  for (auto& error : mutated.join_cardinality_error) {
+    error = rng.NextLogNormal(0.0, config_.cardinality_error_sigma);
+  }
+  return mutated;
+}
+
+Plan PlanGenerator::Instantiate(const PlanSpec& spec,
+                                double actual_row_scale) const {
+  STAGE_CHECK(actual_row_scale > 0.0);
+  STAGE_CHECK(!spec.scans.empty());
+  STAGE_CHECK(spec.join_selectivity.size() == spec.scans.size() - 1);
+  STAGE_CHECK(spec.join_cardinality_error.size() == spec.scans.size() - 1);
+  STAGE_CHECK(spec.join_strategy.size() == spec.scans.size() - 1);
+  STAGE_CHECK(spec.join_materialized.size() == spec.scans.size() - 1);
+  for (const auto& scan : spec.scans) {
+    STAGE_CHECK(scan.table_index >= 0 &&
+                scan.table_index < static_cast<int32_t>(schema_.size()));
+  }
+
+  PlanBuilder builder(schema_, actual_row_scale);
+
+  // Emit the pipeline above the join tree top-down so the node vector stays
+  // in pre-order: Root -> [Limit] -> [Sort] -> [Window] -> [Agg] -> joins.
+  struct Pending {
+    int32_t index;
+    OperatorType op;
+  };
+  std::vector<Pending> pipeline;
+  int32_t parent = -1;
+  auto emit_chain = [&](OperatorType op) {
+    PlanNode node;
+    node.op = op;
+    const int32_t index = builder.Emit(node);
+    if (parent >= 0) builder.Link(parent, index);
+    pipeline.push_back({index, op});
+    parent = index;
+  };
+
+  const bool is_dml = spec.query_type != QueryType::kSelect;
+  if (is_dml) {
+    switch (spec.query_type) {
+      case QueryType::kInsert: emit_chain(OperatorType::kInsert); break;
+      case QueryType::kUpdate: emit_chain(OperatorType::kUpdate); break;
+      case QueryType::kDelete: emit_chain(OperatorType::kDelete); break;
+      default: STAGE_CHECK_MSG(false, "unexpected DML type");
+    }
+  } else {
+    emit_chain(OperatorType::kNetworkReturn);
+    if (spec.has_limit) emit_chain(OperatorType::kLimit);
+    if (spec.has_sort) {
+      emit_chain(spec.has_limit ? OperatorType::kTopSort
+                                : OperatorType::kSort);
+    }
+    if (spec.has_window) emit_chain(OperatorType::kWindow);
+    if (spec.has_aggregate) emit_chain(OperatorType::kHashAggregate);
+  }
+
+  const SubtreeInfo joins = builder.BuildJoinTree(spec, spec.scans.size() - 1);
+  builder.Link(parent, joins.root);
+
+  // Fill in the pipeline estimates bottom-up.
+  double est = joins.est_card;
+  double actual = joins.actual_card;
+  double width = joins.width;
+  for (auto it = pipeline.rbegin(); it != pipeline.rend(); ++it) {
+    PlanNode& node = builder.node(it->index);
+    double cost = 0.0;
+    switch (it->op) {
+      case OperatorType::kHashAggregate:
+        cost = est * kAggCostPerRow;
+        est *= spec.aggregate_fraction;
+        actual *= spec.aggregate_fraction;
+        width *= 0.8;
+        break;
+      case OperatorType::kWindow:
+        cost = est * kWindowCostPerRow;
+        width += 16.0;
+        break;
+      case OperatorType::kSort:
+      case OperatorType::kTopSort:
+        cost = est * std::log2(est + 2.0) * kSortCostFactor;
+        break;
+      case OperatorType::kLimit:
+        est = std::min(est, spec.limit_rows);
+        actual = std::min(actual, spec.limit_rows);
+        cost = est * 1e-4;
+        break;
+      case OperatorType::kNetworkReturn:
+        cost = est * kNetworkCostPerRow;
+        break;
+      case OperatorType::kInsert:
+      case OperatorType::kUpdate:
+      case OperatorType::kDelete:
+        cost = est * kDmlCostPerRow;
+        break;
+      default:
+        STAGE_CHECK_MSG(false, "unexpected pipeline operator");
+    }
+    node.estimated_cost = cost;
+    node.estimated_cardinality = est;
+    node.actual_cardinality = actual;
+    node.tuple_width = width;
+    if (it->op == OperatorType::kInsert || it->op == OperatorType::kUpdate ||
+        it->op == OperatorType::kDelete) {
+      // DML nodes write the first scanned table.
+      const TableDef& table = schema_[spec.scans[0].table_index];
+      node.table_id = table.id;
+      node.table_rows = table.rows;
+      node.s3_format = table.format;
+    }
+  }
+
+  return Plan(spec.query_type, builder.Take());
+}
+
+}  // namespace stage::plan

@@ -1,0 +1,122 @@
+#ifndef STAGE_PLAN_GENERATOR_H_
+#define STAGE_PLAN_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stage/common/rng.h"
+#include "stage/plan/plan.h"
+
+namespace stage::plan {
+
+// A base table in an instance's (synthetic) schema.
+struct TableDef {
+  int32_t id = 0;
+  double rows = 0.0;         // Row count.
+  double width = 0.0;        // Average tuple width in bytes.
+  S3Format format = S3Format::kLocal;
+};
+
+// A declarative description of a query: which tables it touches, its
+// selectivities, and its shape. A spec plays the role of a SQL *template*:
+// instantiating the same spec twice yields bit-identical plans (an exactly
+// repeated query, which hits the exec-time cache), while JitterParams
+// produces a parameter variant (same SQL shape, different literals) that
+// misses the cache but should be handled by the "fuzzy cache" local model.
+struct PlanSpec {
+  QueryType query_type = QueryType::kSelect;
+
+  struct ScanSpec {
+    int32_t table_index = 0;    // Index into the schema vector.
+    double selectivity = 1.0;   // Fraction of rows surviving the scan filter.
+    // Multiplicative error of the optimizer's cardinality estimate for this
+    // scan: actual = estimated * cardinality_error.
+    double cardinality_error = 1.0;
+  };
+  std::vector<ScanSpec> scans;  // Left-deep join order; >= 1 entry.
+
+  // How join i moves and matches its build side.
+  enum class JoinStrategy : uint8_t {
+    kHashLocal = 0,   // Co-located hash join.
+    kHashDistribute,  // Build side redistributed across slices.
+    kHashBroadcast,   // Build side broadcast to all slices.
+    kMerge,           // Merge join over sorted inputs.
+  };
+
+  // Per-join selectivity relative to max(left, right) input cardinality and
+  // its estimation error; size == scans.size() - 1.
+  std::vector<double> join_selectivity;
+  std::vector<double> join_cardinality_error;
+  std::vector<JoinStrategy> join_strategy;
+  // Whether join i's output is materialized (spooled for reuse).
+  std::vector<bool> join_materialized;
+
+  bool has_aggregate = false;
+  double aggregate_fraction = 0.1;   // Output groups / input rows.
+  bool has_sort = false;
+  bool has_window = false;
+  bool has_limit = false;
+  double limit_rows = 100.0;
+};
+
+// Tunables for random spec generation.
+struct GeneratorConfig {
+  int max_joins = 5;
+  double join_count_decay = 0.55;    // P(adding one more join).
+  double prob_aggregate = 0.55;
+  double prob_sort = 0.35;
+  double prob_window = 0.08;
+  double prob_limit = 0.3;
+  double prob_dml = 0.06;            // INSERT / UPDATE / DELETE roots.
+  double min_selectivity = 1e-4;
+  // Log-space std-dev of the optimizer's cardinality estimation error;
+  // compounds through joins as in real systems.
+  double cardinality_error_sigma = 0.9;
+};
+
+// Generates random PlanSpecs over a schema and deterministically expands
+// specs into physical plan trees with optimizer estimates.
+class PlanGenerator {
+ public:
+  PlanGenerator(std::vector<TableDef> schema, GeneratorConfig config);
+
+  const std::vector<TableDef>& schema() const { return schema_; }
+  const GeneratorConfig& config() const { return config_; }
+
+  // Draws a random query spec (template).
+  PlanSpec RandomSpec(Rng& rng) const;
+
+  // Returns a parameter variant of `spec`: same structure and tables, with
+  // selectivities scaled by log-normal jitter (different literal values).
+  // The hidden cardinality errors are preserved: the same query with other
+  // literals keeps the optimizer's estimation bias.
+  PlanSpec JitterParams(const PlanSpec& spec, Rng& rng,
+                        double jitter_sigma = 0.5) const;
+
+  // Returns a *different query* derived from the same structural archetype:
+  // selectivities are mildly jittered AND the hidden cardinality-error
+  // factors are redrawn. The resulting template has a flattened feature
+  // vector close to the original's but genuinely different runtime
+  // behavior — the feature-space collisions that make the 33-dim vector
+  // lossy in practice (§4.3) and that only an exact-match cache resolves.
+  PlanSpec MutateTemplate(const PlanSpec& spec, Rng& rng,
+                          double jitter_sigma = 0.3) const;
+
+  // Deterministically expands a spec into a physical plan with estimates
+  // (and hidden actual cardinalities). Pure function of its arguments.
+  //
+  // `actual_row_scale` models data drift with stale statistics (§4.2): the
+  // optimizer's estimates (and therefore the feature vector and cache key)
+  // are computed from the cataloged table sizes, while the hidden actual
+  // cardinalities are scaled by this factor (e.g. 1.1 after the table grew
+  // 10% without an ANALYZE).
+  Plan Instantiate(const PlanSpec& spec, double actual_row_scale = 1.0) const;
+
+ private:
+  std::vector<TableDef> schema_;
+  GeneratorConfig config_;
+};
+
+}  // namespace stage::plan
+
+#endif  // STAGE_PLAN_GENERATOR_H_

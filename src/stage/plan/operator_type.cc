@@ -1,0 +1,137 @@
+#include "stage/plan/operator_type.h"
+
+#include "stage/common/macros.h"
+
+namespace stage::plan {
+
+OperatorGroup GroupOf(OperatorType type) {
+  switch (type) {
+    case OperatorType::kSeqScanLocal:
+    case OperatorType::kIndexScan:
+      return OperatorGroup::kLocalScan;
+    case OperatorType::kSeqScanS3:
+      return OperatorGroup::kS3Scan;
+    case OperatorType::kHashJoinLocal:
+    case OperatorType::kHashJoinDist:
+      return OperatorGroup::kHashJoin;
+    case OperatorType::kMergeJoin:
+      return OperatorGroup::kMergeJoin;
+    case OperatorType::kNestedLoopJoin:
+      return OperatorGroup::kNestedLoop;
+    case OperatorType::kHash:
+      return OperatorGroup::kHashBuild;
+    case OperatorType::kAggregate:
+    case OperatorType::kHashAggregate:
+    case OperatorType::kGroupAggregate:
+      return OperatorGroup::kAggregate;
+    case OperatorType::kSort:
+    case OperatorType::kTopSort:
+      return OperatorGroup::kSort;
+    case OperatorType::kNetworkDistribute:
+    case OperatorType::kNetworkBroadcast:
+    case OperatorType::kNetworkReturn:
+      return OperatorGroup::kNetwork;
+    case OperatorType::kMaterialize:
+      return OperatorGroup::kMaterialize;
+    case OperatorType::kWindow:
+      return OperatorGroup::kWindow;
+    case OperatorType::kInsert:
+    case OperatorType::kDelete:
+    case OperatorType::kUpdate:
+    case OperatorType::kCopy:
+    case OperatorType::kVacuum:
+      return OperatorGroup::kDml;
+    case OperatorType::kUnique:
+    case OperatorType::kLimit:
+    case OperatorType::kAppend:
+    case OperatorType::kSubqueryScan:
+    case OperatorType::kResult:
+    case OperatorType::kProject:
+    case OperatorType::kUnknown:
+      return OperatorGroup::kOther;
+    case OperatorType::kNumOperators:
+      break;
+  }
+  STAGE_CHECK_MSG(false, "invalid OperatorType");
+  return OperatorGroup::kOther;
+}
+
+std::string_view OperatorTypeName(OperatorType type) {
+  switch (type) {
+    case OperatorType::kSeqScanLocal: return "SeqScan";
+    case OperatorType::kSeqScanS3: return "S3 SeqScan";
+    case OperatorType::kIndexScan: return "IndexScan";
+    case OperatorType::kHashJoinLocal: return "HashJoin";
+    case OperatorType::kHashJoinDist: return "DistHashJoin";
+    case OperatorType::kMergeJoin: return "MergeJoin";
+    case OperatorType::kNestedLoopJoin: return "NestedLoop";
+    case OperatorType::kHash: return "Hash";
+    case OperatorType::kAggregate: return "Aggregate";
+    case OperatorType::kHashAggregate: return "HashAggregate";
+    case OperatorType::kGroupAggregate: return "GroupAggregate";
+    case OperatorType::kSort: return "Sort";
+    case OperatorType::kTopSort: return "TopSort";
+    case OperatorType::kMaterialize: return "Materialize";
+    case OperatorType::kNetworkDistribute: return "Network(Distribute)";
+    case OperatorType::kNetworkBroadcast: return "Network(Broadcast)";
+    case OperatorType::kNetworkReturn: return "Network(Return)";
+    case OperatorType::kWindow: return "Window";
+    case OperatorType::kUnique: return "Unique";
+    case OperatorType::kLimit: return "Limit";
+    case OperatorType::kAppend: return "Append";
+    case OperatorType::kSubqueryScan: return "SubqueryScan";
+    case OperatorType::kResult: return "Result";
+    case OperatorType::kProject: return "Project";
+    case OperatorType::kInsert: return "Insert";
+    case OperatorType::kDelete: return "Delete";
+    case OperatorType::kUpdate: return "Update";
+    case OperatorType::kCopy: return "Copy";
+    case OperatorType::kVacuum: return "Vacuum";
+    case OperatorType::kUnknown: return "Unknown";
+    case OperatorType::kNumOperators: break;
+  }
+  STAGE_CHECK_MSG(false, "invalid OperatorType");
+  return "";
+}
+
+std::string_view QueryTypeName(QueryType type) {
+  switch (type) {
+    case QueryType::kSelect: return "SELECT";
+    case QueryType::kInsert: return "INSERT";
+    case QueryType::kUpdate: return "UPDATE";
+    case QueryType::kDelete: return "DELETE";
+    case QueryType::kNumQueryTypes: break;
+  }
+  STAGE_CHECK_MSG(false, "invalid QueryType");
+  return "";
+}
+
+std::string_view S3FormatName(S3Format format) {
+  switch (format) {
+    case S3Format::kNotBaseTable: return "Null";
+    case S3Format::kLocal: return "Local";
+    case S3Format::kParquet: return "Parquet";
+    case S3Format::kOpenCsv: return "OpenCSV";
+    case S3Format::kText: return "Text";
+    case S3Format::kNumFormats: break;
+  }
+  STAGE_CHECK_MSG(false, "invalid S3Format");
+  return "";
+}
+
+bool ReadsBaseTable(OperatorType type) {
+  switch (type) {
+    case OperatorType::kSeqScanLocal:
+    case OperatorType::kSeqScanS3:
+    case OperatorType::kIndexScan:
+    case OperatorType::kInsert:
+    case OperatorType::kDelete:
+    case OperatorType::kUpdate:
+    case OperatorType::kCopy:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace stage::plan

@@ -1,0 +1,105 @@
+#ifndef STAGE_PLAN_OPERATOR_TYPE_H_
+#define STAGE_PLAN_OPERATOR_TYPE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace stage::plan {
+
+// Physical operator types. Redshift has 90 unique operator types (§4.4); we
+// model a representative subset but keep the one-hot space at 90 slots so the
+// global-model featurization is dimensionally faithful.
+enum class OperatorType : uint8_t {
+  kSeqScanLocal = 0,    // Scan of a locally stored (Redshift-managed) table.
+  kSeqScanS3,           // Spectrum scan of an external S3 table.
+  kIndexScan,           // (Rare) index-assisted scan.
+  kHashJoinLocal,       // Hash join, co-located.
+  kHashJoinDist,        // Distributed hash join (needs redistribution).
+  kMergeJoin,
+  kNestedLoopJoin,
+  kHash,                // Hash build side.
+  kAggregate,           // Plain (scalar) aggregate.
+  kHashAggregate,       // Grouped aggregate via hashing.
+  kGroupAggregate,      // Grouped aggregate over sorted input.
+  kSort,
+  kTopSort,             // Sort bounded by LIMIT.
+  kMaterialize,
+  kNetworkDistribute,   // Redistribute rows across slices.
+  kNetworkBroadcast,    // Broadcast rows to all slices.
+  kNetworkReturn,       // Return rows to the leader node.
+  kWindow,
+  kUnique,
+  kLimit,
+  kAppend,              // UNION ALL style concatenation.
+  kSubqueryScan,
+  kResult,              // Leader-side result projection.
+  kProject,             // Expression evaluation / projection.
+  kInsert,
+  kDelete,
+  kUpdate,
+  kCopy,                // Bulk load.
+  kVacuum,
+  kUnknown,             // Catch-all for the long tail of operators.
+  kNumOperators,
+};
+
+// Size of the operator one-hot block in the global model's node features.
+// Matches the 90 unique operator types reported for Redshift even though we
+// only instantiate kNumOperators of them.
+inline constexpr int kOperatorOneHotSlots = 90;
+
+// Coarse operator groups used by the 33-dimensional flattened plan vector:
+// the paper "collects operator nodes of the same type and sums up their
+// estimated cost and cardinality" (§4.2); grouping the 90 raw types into 13
+// families keeps the vector at its published width.
+enum class OperatorGroup : uint8_t {
+  kLocalScan = 0,
+  kS3Scan,
+  kHashJoin,
+  kMergeJoin,
+  kNestedLoop,
+  kHashBuild,
+  kAggregate,
+  kSort,
+  kNetwork,
+  kMaterialize,
+  kWindow,
+  kDml,
+  kOther,
+  kNumGroups,
+};
+
+// SQL statement type; part of the flattened feature vector (§4.2).
+enum class QueryType : uint8_t {
+  kSelect = 0,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kNumQueryTypes,
+};
+
+// Storage format of the base table a scan reads ("Null" when the operator
+// does not directly read a base table, §4.4).
+enum class S3Format : uint8_t {
+  kNotBaseTable = 0,
+  kLocal,
+  kParquet,
+  kOpenCsv,
+  kText,
+  kNumFormats,
+};
+
+// Maps each concrete operator to its coarse group.
+OperatorGroup GroupOf(OperatorType type);
+
+// Human-readable names (for EXPLAIN-style dumps and bench output).
+std::string_view OperatorTypeName(OperatorType type);
+std::string_view QueryTypeName(QueryType type);
+std::string_view S3FormatName(S3Format format);
+
+// True for operators that read a base table directly (scans / DML targets).
+bool ReadsBaseTable(OperatorType type);
+
+}  // namespace stage::plan
+
+#endif  // STAGE_PLAN_OPERATOR_TYPE_H_

@@ -1,0 +1,44 @@
+#include "stage/wlm/trace_util.h"
+
+#include <algorithm>
+
+#include "stage/common/macros.h"
+
+namespace stage::wlm {
+
+double TraceUtilization(const std::vector<fleet::QueryEvent>& trace,
+                        int total_slots) {
+  STAGE_CHECK(total_slots > 0);
+  if (trace.size() < 2) return 0.0;
+  double total_exec = 0.0;
+  for (const fleet::QueryEvent& event : trace) {
+    total_exec += event.exec_seconds;
+  }
+  const double span_seconds =
+      static_cast<double>(trace.back().arrival_ms - trace.front().arrival_ms) /
+      1000.0;
+  if (span_seconds <= 0.0) return 1e9;
+  return total_exec / (span_seconds * total_slots);
+}
+
+std::vector<fleet::QueryEvent> CompressArrivals(
+    const std::vector<fleet::QueryEvent>& trace, double factor) {
+  STAGE_CHECK(factor > 0.0);
+  std::vector<fleet::QueryEvent> compressed = trace;
+  for (fleet::QueryEvent& event : compressed) {
+    event.arrival_ms = static_cast<int64_t>(
+        static_cast<double>(event.arrival_ms) / factor);
+  }
+  return compressed;
+}
+
+std::vector<fleet::QueryEvent> CompressToUtilization(
+    const std::vector<fleet::QueryEvent>& trace, int total_slots,
+    double target_utilization) {
+  STAGE_CHECK(target_utilization > 0.0);
+  const double current = TraceUtilization(trace, total_slots);
+  if (current >= target_utilization) return trace;
+  return CompressArrivals(trace, target_utilization / current);
+}
+
+}  // namespace stage::wlm

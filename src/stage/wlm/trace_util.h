@@ -1,0 +1,29 @@
+#ifndef STAGE_WLM_TRACE_UTIL_H_
+#define STAGE_WLM_TRACE_UTIL_H_
+
+#include <vector>
+
+#include "stage/fleet/workload.h"
+
+namespace stage::wlm {
+
+// Offered load of a trace: total execution seconds divided by
+// (trace span * total_slots). Values near or above 1 mean heavy queueing.
+double TraceUtilization(const std::vector<fleet::QueryEvent>& trace,
+                        int total_slots);
+
+// Returns a copy of the trace with arrival times divided by `factor`
+// (factor > 1 compresses the timeline and raises contention). Execution
+// times are untouched.
+std::vector<fleet::QueryEvent> CompressArrivals(
+    const std::vector<fleet::QueryEvent>& trace, double factor);
+
+// Compresses the trace so its utilization on `total_slots` slots hits
+// `target_utilization` (no-op if it is already at least that loaded).
+std::vector<fleet::QueryEvent> CompressToUtilization(
+    const std::vector<fleet::QueryEvent>& trace, int total_slots,
+    double target_utilization);
+
+}  // namespace stage::wlm
+
+#endif  // STAGE_WLM_TRACE_UTIL_H_

@@ -1,0 +1,58 @@
+#ifndef STAGE_WLM_WORKLOAD_MANAGER_H_
+#define STAGE_WLM_WORKLOAD_MANAGER_H_
+
+#include <vector>
+
+#include "stage/fleet/workload.h"
+
+namespace stage::wlm {
+
+// Queue discipline of the simulated Redshift workload manager ([50]):
+// short-predicted queries get a dedicated slot pool with FIFO order;
+// everything else enters the long queue ordered by predicted exec-time
+// (shortest-job-first). Optionally, long-waiting queries burst onto a
+// concurrency-scaling cluster.
+struct WlmConfig {
+  int short_slots = 2;
+  int long_slots = 3;
+  // Predicted exec-time below this routes a query to the short queue.
+  double short_threshold_seconds = 5.0;
+  bool sjf_long_queue = true;
+
+  bool enable_concurrency_scaling = false;
+  // A queued query that has waited this long is off-loaded to a scaling
+  // cluster (modeled as an extra slot pool of `scaling_slots`).
+  double scaling_wait_threshold_seconds = 120.0;
+  int scaling_slots = 4;
+};
+
+// Per-trace outcome of a WLM simulation.
+struct WlmResult {
+  enum class Pool : int8_t { kShort = 0, kLong = 1, kScaling = 2 };
+
+  // Per-query, in trace order.
+  std::vector<double> latency_seconds;  // wait + execution.
+  std::vector<double> wait_seconds;
+  std::vector<Pool> pool;               // Where each query executed.
+
+  int short_queue_admissions = 0;
+  int long_queue_admissions = 0;
+  int scaling_offloads = 0;
+
+  double AverageLatency() const;
+  double LatencyQuantile(double q) const;
+};
+
+// Event-driven replay (§5.2): execution durations come from the logged
+// `exec_seconds` (predictions only change queueing/scheduling, exactly as
+// in the paper's counterfactual simulation), while queue routing and
+// ordering are driven by `predicted_seconds`.
+//
+// `trace` must be sorted by arrival; `predicted_seconds` is parallel to it.
+WlmResult SimulateWlm(const std::vector<fleet::QueryEvent>& trace,
+                      const std::vector<double>& predicted_seconds,
+                      const WlmConfig& config);
+
+}  // namespace stage::wlm
+
+#endif  // STAGE_WLM_WORKLOAD_MANAGER_H_

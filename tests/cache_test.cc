@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "stage/cache/exec_time_cache.h"
+#include "stage/common/rng.h"
+
+namespace stage::cache {
+namespace {
+
+ExecTimeCacheConfig SmallConfig(size_t capacity = 3, double alpha = 0.8) {
+  ExecTimeCacheConfig config;
+  config.capacity = capacity;
+  config.alpha = alpha;
+  return config;
+}
+
+TEST(ExecTimeCacheTest, MissOnEmpty) {
+  ExecTimeCache cache(SmallConfig());
+  EXPECT_FALSE(cache.Predict(1).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(ExecTimeCacheTest, HitAfterObserve) {
+  ExecTimeCache cache(SmallConfig());
+  cache.Observe(1, 2.0, 10);
+  const auto prediction = cache.Predict(1);
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_DOUBLE_EQ(*prediction, 2.0);  // mean == last for one observation.
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(ExecTimeCacheTest, BlendFormulaAlphaMeanPlusLast) {
+  // Observations 1.0, 2.0, 6.0: mean = 3.0, last = 6.0.
+  ExecTimeCache cache(SmallConfig(3, 0.8));
+  cache.Observe(1, 1.0, 1);
+  cache.Observe(1, 2.0, 2);
+  cache.Observe(1, 6.0, 3);
+  EXPECT_DOUBLE_EQ(*cache.Predict(1), 0.8 * 3.0 + 0.2 * 6.0);
+}
+
+TEST(ExecTimeCacheTest, AlphaZeroTracksLastOnly) {
+  ExecTimeCache cache(SmallConfig(3, 0.0));
+  cache.Observe(1, 1.0, 1);
+  cache.Observe(1, 9.0, 2);
+  EXPECT_DOUBLE_EQ(*cache.Predict(1), 9.0);
+}
+
+TEST(ExecTimeCacheTest, WelfordEntryStats) {
+  ExecTimeCache cache(SmallConfig());
+  cache.Observe(7, 1.0, 1);
+  cache.Observe(7, 3.0, 2);
+  const ExecTimeCache::Entry* entry = cache.Lookup(7);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(entry->stats.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(entry->stats.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(entry->last_exec_time, 3.0);
+  EXPECT_EQ(entry->last_update_tick, 2u);
+}
+
+TEST(ExecTimeCacheTest, EvictsLeastRecentlyUpdated) {
+  ExecTimeCache cache(SmallConfig(2));
+  cache.Observe(1, 1.0, 10);
+  cache.Observe(2, 2.0, 20);
+  // Refresh key 1: key 2 becomes the least-recently-updated.
+  cache.Observe(1, 1.5, 30);
+  cache.Observe(3, 3.0, 40);  // Evicts key 2.
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ExecTimeCacheTest, UpdateDoesNotEvict) {
+  ExecTimeCache cache(SmallConfig(2));
+  cache.Observe(1, 1.0, 1);
+  cache.Observe(2, 2.0, 2);
+  cache.Observe(1, 1.0, 3);  // Update in place; still full, no eviction.
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(ExecTimeCacheTest, ContainsHasNoCounterSideEffects) {
+  ExecTimeCache cache(SmallConfig());
+  cache.Observe(1, 1.0, 1);
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(ExecTimeCacheTest, CapacityNeverExceeded) {
+  ExecTimeCache cache(SmallConfig(5));
+  Rng rng(3);
+  for (uint64_t i = 0; i < 100; ++i) {
+    cache.Observe(rng.NextBelow(50), rng.NextDouble() * 10, i);
+    EXPECT_LE(cache.size(), 5u);
+  }
+}
+
+TEST(ExecTimeCacheTest, SameTickEvictionIsStable) {
+  // Multiple entries sharing a tick (same "date") must still evict exactly
+  // one entry, deterministically.
+  ExecTimeCache cache(SmallConfig(2));
+  cache.Observe(1, 1.0, 5);
+  cache.Observe(2, 2.0, 5);
+  cache.Observe(3, 3.0, 5);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(ExecTimeCacheTest, MemoryBytesGrowsWithEntries) {
+  ExecTimeCache cache(SmallConfig(100));
+  const size_t empty = cache.MemoryBytes();
+  for (uint64_t i = 0; i < 50; ++i) cache.Observe(i, 1.0, i);
+  EXPECT_GT(cache.MemoryBytes(), empty);
+}
+
+// Property sweep: with alpha in [0,1], the prediction always lies between
+// min and max of (mean, last).
+class CacheBlendPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CacheBlendPropertyTest, PredictionBetweenMeanAndLast) {
+  ExecTimeCache cache(SmallConfig(4, GetParam()));
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t key = rng.NextBelow(4);
+    cache.Observe(key, rng.NextLogNormal(0.0, 1.0), i);
+    const ExecTimeCache::Entry* entry = cache.Lookup(key);
+    const double lo = std::min(entry->stats.mean(), entry->last_exec_time);
+    const double hi = std::max(entry->stats.mean(), entry->last_exec_time);
+    const double prediction = *cache.Predict(key);
+    EXPECT_GE(prediction, lo - 1e-12);
+    EXPECT_LE(prediction, hi + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, CacheBlendPropertyTest,
+                         ::testing::Values(0.0, 0.2, 0.5, 0.8, 1.0));
+
+TEST(ExecTimeCacheTest, PredictionModes) {
+  ExecTimeCacheConfig config = SmallConfig(4, 0.8);
+  // Feed 1, 2, 9: mean 4, median 2, last 9, blend 0.8*4 + 0.2*9 = 5.0.
+  const auto feed = [](ExecTimeCache& cache) {
+    cache.Observe(1, 1.0, 1);
+    cache.Observe(1, 2.0, 2);
+    cache.Observe(1, 9.0, 3);
+  };
+  config.prediction_mode = CachePredictionMode::kBlend;
+  ExecTimeCache blend(config);
+  feed(blend);
+  EXPECT_DOUBLE_EQ(*blend.Predict(1), 5.0);
+
+  config.prediction_mode = CachePredictionMode::kMean;
+  ExecTimeCache mean(config);
+  feed(mean);
+  EXPECT_DOUBLE_EQ(*mean.Predict(1), 4.0);
+
+  config.prediction_mode = CachePredictionMode::kMedian;
+  ExecTimeCache median(config);
+  feed(median);
+  EXPECT_DOUBLE_EQ(*median.Predict(1), 2.0);
+
+  config.prediction_mode = CachePredictionMode::kLast;
+  ExecTimeCache last(config);
+  feed(last);
+  EXPECT_DOUBLE_EQ(*last.Predict(1), 9.0);
+}
+
+TEST(ExecTimeCacheTest, MedianModeRobustToSpikes) {
+  ExecTimeCacheConfig config = SmallConfig(4);
+  config.prediction_mode = CachePredictionMode::kMedian;
+  ExecTimeCache cache(config);
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const double v =
+        rng.NextBernoulli(0.05) ? 500.0 : rng.NextUniform(0.9, 1.1);
+    cache.Observe(42, v, i);
+  }
+  EXPECT_NEAR(*cache.Predict(42), 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace stage::cache

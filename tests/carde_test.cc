@@ -1,0 +1,166 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stage/carde/estimator.h"
+#include "stage/carde/learned.h"
+#include "stage/common/rng.h"
+#include "stage/metrics/error_metrics.h"
+#include "stage/plan/generator.h"
+
+namespace stage::carde {
+namespace {
+
+plan::PlanGenerator TestGenerator() {
+  std::vector<plan::TableDef> schema = {
+      {0, 1e7, 100.0, plan::S3Format::kLocal},
+      {1, 5e6, 60.0, plan::S3Format::kLocal},
+      {2, 2e5, 200.0, plan::S3Format::kParquet},
+      {3, 1e8, 40.0, plan::S3Format::kLocal},
+  };
+  return plan::PlanGenerator(std::move(schema), plan::GeneratorConfig{});
+}
+
+LearnedCardinalityConfig FastLearnedConfig() {
+  LearnedCardinalityConfig config;
+  config.ensemble.num_members = 4;
+  config.ensemble.member.num_rounds = 50;
+  return config;
+}
+
+TEST(OptimizerEstimatorTest, ReturnsPlanEstimateAtZeroCost) {
+  Rng rng(1);
+  plan::PlanGenerator generator = TestGenerator();
+  const plan::Plan plan = generator.Instantiate(generator.RandomSpec(rng));
+  OptimizerCardinalityEstimator estimator;
+  const CardinalityEstimate estimate = estimator.Estimate(plan);
+  EXPECT_DOUBLE_EQ(estimate.rows,
+                   plan.node(plan.root()).estimated_cardinality);
+  EXPECT_DOUBLE_EQ(estimate.inference_seconds, 0.0);
+  EXPECT_LT(estimate.log_std, 0.0);  // No uncertainty available.
+}
+
+TEST(SamplingEstimatorTest, AccurateButCostly) {
+  Rng rng(2);
+  plan::PlanGenerator generator = TestGenerator();
+  SamplingCardinalityEstimator estimator(SamplingEstimatorConfig{});
+  for (int i = 0; i < 30; ++i) {
+    const plan::Plan plan = generator.Instantiate(generator.RandomSpec(rng));
+    const CardinalityEstimate estimate = estimator.Estimate(plan);
+    const double truth = plan.node(plan.root()).actual_cardinality;
+    if (truth > 1.0) {
+      // Within the sampling noise (sigma 0.1 => well within 2x).
+      EXPECT_LT(std::abs(std::log(estimate.rows / truth)), 0.5);
+    }
+    EXPECT_GT(estimate.inference_seconds, 0.0);
+  }
+}
+
+TEST(LearnedEstimatorTest, BeatsOptimizerAfterTraining) {
+  // The optimizer's root estimate is wrong by the hidden compounding
+  // cardinality errors; a model trained on observed true cardinalities
+  // should beat it on Q-error.
+  Rng rng(3);
+  plan::PlanGenerator generator = TestGenerator();
+  LearnedCardinalityEstimator learned(FastLearnedConfig());
+
+  std::vector<plan::PlanSpec> templates;
+  for (int t = 0; t < 80; ++t) templates.push_back(generator.RandomSpec(rng));
+  for (int i = 0; i < 800; ++i) {
+    const auto& spec = templates[rng.NextBelow(templates.size())];
+    const plan::Plan plan =
+        generator.Instantiate(generator.JitterParams(spec, rng, 0.3));
+    learned.Observe(plan, plan.node(plan.root()).actual_cardinality);
+  }
+  learned.Train();
+  ASSERT_TRUE(learned.trained());
+
+  OptimizerCardinalityEstimator optimizer;
+  std::vector<double> truth;
+  std::vector<double> learned_rows;
+  std::vector<double> optimizer_rows;
+  for (int i = 0; i < 200; ++i) {
+    const auto& spec = templates[rng.NextBelow(templates.size())];
+    const plan::Plan plan =
+        generator.Instantiate(generator.JitterParams(spec, rng, 0.3));
+    truth.push_back(plan.node(plan.root()).actual_cardinality);
+    learned_rows.push_back(learned.Estimate(plan).rows);
+    optimizer_rows.push_back(optimizer.Estimate(plan).rows);
+  }
+  const double learned_q50 =
+      metrics::Summarize(metrics::QErrors(truth, learned_rows, 1.0)).p50;
+  const double optimizer_q50 =
+      metrics::Summarize(metrics::QErrors(truth, optimizer_rows, 1.0)).p50;
+  EXPECT_LT(learned_q50, optimizer_q50);
+}
+
+TEST(HierarchyTest, ColdStartFallsBackToOptimizer) {
+  Rng rng(5);
+  plan::PlanGenerator generator = TestGenerator();
+  LearnedCardinalityEstimator learned(FastLearnedConfig());
+  SamplingCardinalityEstimator sampling(SamplingEstimatorConfig{});
+  HierarchicalCardinalityEstimator hierarchy(HierarchicalCardinalityConfig{},
+                                             &learned, &sampling);
+  const plan::Plan plan = generator.Instantiate(generator.RandomSpec(rng));
+  const CardinalityEstimate estimate = hierarchy.Estimate(plan);
+  EXPECT_DOUBLE_EQ(estimate.rows,
+                   plan.node(plan.root()).estimated_cardinality);
+}
+
+TEST(HierarchyTest, ThresholdControlsEscalationAndCost) {
+  Rng rng(7);
+  plan::PlanGenerator generator = TestGenerator();
+  LearnedCardinalityEstimator learned(FastLearnedConfig());
+  for (int i = 0; i < 400; ++i) {
+    const plan::Plan plan = generator.Instantiate(generator.RandomSpec(rng));
+    learned.Observe(plan, plan.node(plan.root()).actual_cardinality);
+  }
+  learned.Train();
+  SamplingCardinalityEstimator sampling(SamplingEstimatorConfig{});
+
+  // Threshold 0: everything is "uncertain" => always escalate.
+  HierarchicalCardinalityConfig always_config;
+  always_config.uncertainty_log_std_threshold = 0.0;
+  HierarchicalCardinalityEstimator always(always_config, &learned, &sampling);
+  // Threshold inf: never escalate.
+  HierarchicalCardinalityConfig never_config;
+  never_config.uncertainty_log_std_threshold = 1e9;
+  HierarchicalCardinalityEstimator never(never_config, &learned, &sampling);
+
+  double always_cost = 0.0;
+  double never_cost = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const plan::Plan plan = generator.Instantiate(generator.RandomSpec(rng));
+    always_cost += always.Estimate(plan).inference_seconds;
+    never_cost += never.Estimate(plan).inference_seconds;
+  }
+  EXPECT_EQ(always.escalations(), 50u);
+  EXPECT_EQ(always.learned_served(), 0u);
+  EXPECT_EQ(never.escalations(), 0u);
+  EXPECT_EQ(never.learned_served(), 50u);
+  EXPECT_GT(always_cost, never_cost * 5.0);  // Sampling dominates the cost.
+}
+
+TEST(HierarchyTest, EscalationPaysBothCosts) {
+  Rng rng(9);
+  plan::PlanGenerator generator = TestGenerator();
+  LearnedCardinalityConfig config = FastLearnedConfig();
+  config.inference_seconds = 1.0;  // Exaggerated for visibility.
+  LearnedCardinalityEstimator learned(config);
+  for (int i = 0; i < 100; ++i) {
+    const plan::Plan plan = generator.Instantiate(generator.RandomSpec(rng));
+    learned.Observe(plan, plan.node(plan.root()).actual_cardinality);
+  }
+  learned.Train();
+  SamplingCardinalityEstimator sampling(SamplingEstimatorConfig{});
+  HierarchicalCardinalityConfig hierarchy_config;
+  hierarchy_config.uncertainty_log_std_threshold = 0.0;  // Always escalate.
+  HierarchicalCardinalityEstimator hierarchy(hierarchy_config, &learned,
+                                             &sampling);
+  const plan::Plan plan = generator.Instantiate(generator.RandomSpec(rng));
+  // Escalated estimates include the failed cheap attempt's cost.
+  EXPECT_GE(hierarchy.Estimate(plan).inference_seconds, 1.0);
+}
+
+}  // namespace
+}  // namespace stage::carde

@@ -1,0 +1,356 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stage/common/flags.h"
+#include "stage/common/p2_quantile.h"
+#include "stage/common/serialize.h"
+#include "stage/common/rng.h"
+#include "stage/common/stats.h"
+
+namespace stage {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a.NextUint64() == b.NextUint64() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  bool saw_zero = false;
+  bool saw_max = false;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.NextBelow(7);
+    EXPECT_LT(v, 7u);
+    saw_zero = saw_zero || v == 0;
+    saw_max = saw_max || v == 6;
+  }
+  EXPECT_TRUE(saw_zero);
+  EXPECT_TRUE(saw_max);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyCorrect) {
+  Rng rng(11);
+  Welford stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(rng.NextGaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.variance(), 1.0, 0.03);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  Welford stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.NextExponential(2.0));
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+}
+
+TEST(RngTest, PoissonMeanMatchesLambdaSmallAndLarge) {
+  Rng rng(17);
+  for (double lambda : {0.5, 3.0, 50.0}) {
+    Welford stats;
+    for (int i = 0; i < 20000; ++i) stats.Add(rng.NextPoisson(lambda));
+    EXPECT_NEAR(stats.mean(), lambda, lambda * 0.1 + 0.05) << lambda;
+  }
+}
+
+TEST(RngTest, PoissonZeroLambda) {
+  Rng rng(17);
+  EXPECT_EQ(rng.NextPoisson(0.0), 0);
+}
+
+TEST(RngTest, WeightedSamplingFollowsWeights) {
+  Rng rng(19);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.NextWeighted(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(RngTest, LogNormalMedianIsExpMu) {
+  Rng rng(23);
+  std::vector<double> values;
+  for (int i = 0; i < 20001; ++i) values.push_back(rng.NextLogNormal(1.0, 0.5));
+  EXPECT_NEAR(Quantile(values, 0.5), std::exp(1.0), 0.1);
+}
+
+TEST(RngTest, ParetoRespectsScale) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.NextPareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(31);
+  const std::vector<size_t> perm = rng.Permutation(100);
+  std::vector<bool> seen(100, false);
+  for (size_t v : perm) {
+    ASSERT_LT(v, 100u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(WelfordTest, EmptyAndSingle) {
+  Welford stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  stats.Add(5.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_EQ(stats.mean(), 5.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+// Property: Welford must match the two-pass mean/variance on arbitrary data.
+class WelfordPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WelfordPropertyTest, MatchesTwoPassMoments) {
+  Rng rng(GetParam());
+  const int n = 2 + static_cast<int>(rng.NextBelow(500));
+  std::vector<double> values;
+  Welford stats;
+  for (int i = 0; i < n; ++i) {
+    // Mix scales to stress numerical stability.
+    const double v = rng.NextGaussian(1e3, 1.0) +
+                     (rng.NextBernoulli(0.3) ? rng.NextLogNormal(0, 2) : 0.0);
+    values.push_back(v);
+    stats.Add(v);
+  }
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= n;
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= n;
+  EXPECT_NEAR(stats.mean(), mean, 1e-9 * std::abs(mean) + 1e-9);
+  EXPECT_NEAR(stats.variance(), var, 1e-6 * (var + 1.0));
+  EXPECT_EQ(stats.count(), static_cast<size_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WelfordPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(QuantileTest, ExactOnKnownData) {
+  const std::vector<double> values = {4.0, 1.0, 3.0, 2.0, 5.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.25), 2.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> values = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.9), 9.0);
+}
+
+TEST(QuantileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(Quantile({7.0}, 0.3), 7.0);
+}
+
+TEST(MeanTest, Basic) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959963985, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.8413447461), 1.0, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.999), 3.090232306, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.001), -3.090232306, 1e-6);
+}
+
+TEST(NormalQuantileTest, SymmetricAndMonotone) {
+  double prev = NormalQuantile(0.01);
+  for (double p = 0.02; p < 1.0; p += 0.01) {
+    const double q = NormalQuantile(p);
+    EXPECT_GT(q, prev);
+    EXPECT_NEAR(q, -NormalQuantile(1.0 - p), 1e-8);
+    prev = q;
+  }
+}
+
+TEST(NormalQuantileTest, RoundTripsEmpiricalGaussian) {
+  // ~84.13% of standard normal draws fall below NormalQuantile(0.8413).
+  Rng rng(41);
+  int below = 0;
+  const int n = 200000;
+  const double threshold = NormalQuantile(0.8413447461);
+  for (int i = 0; i < n; ++i) {
+    below += rng.NextGaussian() < threshold ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.8413, 0.01);
+}
+
+TEST(P2QuantileTest, ExactForSmallSamples) {
+  P2Quantile sketch(0.5);
+  sketch.Add(5.0);
+  EXPECT_DOUBLE_EQ(sketch.Value(), 5.0);
+  sketch.Add(1.0);
+  EXPECT_DOUBLE_EQ(sketch.Value(), 3.0);  // Median of {1, 5}.
+  sketch.Add(3.0);
+  EXPECT_DOUBLE_EQ(sketch.Value(), 3.0);
+}
+
+TEST(P2QuantileTest, EmptyReturnsZero) {
+  P2Quantile sketch(0.5);
+  EXPECT_DOUBLE_EQ(sketch.Value(), 0.0);
+  EXPECT_EQ(sketch.count(), 0u);
+}
+
+// Property sweep: the sketch tracks the true quantile across
+// distributions and target quantiles.
+struct P2Case {
+  double q;
+  int distribution;  // 0=uniform, 1=gaussian, 2=lognormal.
+};
+class P2QuantilePropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(P2QuantilePropertyTest, TracksTrueQuantile) {
+  const double q = std::get<0>(GetParam());
+  const int distribution = std::get<1>(GetParam());
+  Rng rng(77 + distribution);
+  P2Quantile sketch(q);
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    double v;
+    switch (distribution) {
+      case 0: v = rng.NextUniform(-3.0, 7.0); break;
+      case 1: v = rng.NextGaussian(2.0, 3.0); break;
+      default: v = rng.NextLogNormal(0.0, 1.0); break;
+    }
+    sketch.Add(v);
+    values.push_back(v);
+  }
+  const double exact = Quantile(values, q);
+  const double spread = Quantile(values, 0.95) - Quantile(values, 0.05);
+  EXPECT_NEAR(sketch.Value(), exact, spread * 0.05)
+      << "q=" << q << " dist=" << distribution;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, P2QuantilePropertyTest,
+    ::testing::Combine(::testing::Values(0.1, 0.5, 0.9),
+                       ::testing::Values(0, 1, 2)));
+
+TEST(P2QuantileTest, MedianRobustToSpikes) {
+  // 5% huge outliers: the median sketch should stay near the bulk while
+  // the mean is dragged up.
+  Rng rng(99);
+  P2Quantile sketch(0.5);
+  Welford mean;
+  for (int i = 0; i < 10000; ++i) {
+    const double v =
+        rng.NextBernoulli(0.05) ? 1000.0 : rng.NextUniform(0.9, 1.1);
+    sketch.Add(v);
+    mean.Add(v);
+  }
+  EXPECT_NEAR(sketch.Value(), 1.0, 0.05);
+  EXPECT_GT(mean.mean(), 10.0);
+}
+
+TEST(FlagsTest, ParsesPositionalAndKeyValue) {
+  const char* argv[] = {"prog", "replay", "--instances=4", "--csv",
+                        "--utilization=0.5"};
+  Flags flags;
+  std::string error;
+  ASSERT_TRUE(Flags::Parse(5, argv, {"instances", "csv", "utilization"},
+                           &flags, &error));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "replay");
+  EXPECT_EQ(flags.GetInt("instances", 0), 4);
+  EXPECT_TRUE(flags.GetBool("csv", false));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("utilization", 0.0), 0.5);
+  EXPECT_EQ(flags.GetString("missing", "fallback"), "fallback");
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(FlagsTest, RejectsUnknownFlag) {
+  const char* argv[] = {"prog", "--tyop=1"};
+  Flags flags;
+  std::string error;
+  EXPECT_FALSE(Flags::Parse(2, argv, {"typo"}, &flags, &error));
+  EXPECT_NE(error.find("tyop"), std::string::npos);
+}
+
+TEST(FlagsTest, ExplicitFalseSwitch) {
+  const char* argv[] = {"prog", "--csv=false"};
+  Flags flags;
+  std::string error;
+  ASSERT_TRUE(Flags::Parse(2, argv, {"csv"}, &flags, &error));
+  EXPECT_FALSE(flags.GetBool("csv", true));
+}
+
+TEST(SerializeTest, PodAndVectorRoundTrip) {
+  std::stringstream buffer;
+  WritePod<int32_t>(buffer, -42);
+  WritePod<double>(buffer, 3.5);
+  WriteVector<float>(buffer, {1.0f, 2.0f, 3.0f});
+  WriteVector<float>(buffer, {});
+
+  int32_t i = 0;
+  double d = 0;
+  std::vector<float> v;
+  std::vector<float> empty;
+  ASSERT_TRUE(ReadPod(buffer, &i));
+  ASSERT_TRUE(ReadPod(buffer, &d));
+  ASSERT_TRUE(ReadVector(buffer, &v));
+  ASSERT_TRUE(ReadVector(buffer, &empty));
+  EXPECT_EQ(i, -42);
+  EXPECT_DOUBLE_EQ(d, 3.5);
+  EXPECT_EQ(v, (std::vector<float>{1.0f, 2.0f, 3.0f}));
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(SerializeTest, ReadVectorRejectsHugeSizes) {
+  std::stringstream buffer;
+  WritePod<uint64_t>(buffer, 1ull << 62);  // Absurd element count.
+  std::vector<float> v;
+  EXPECT_FALSE(ReadVector(buffer, &v));
+}
+
+TEST(SerializeTest, HeaderMismatchDetected) {
+  std::stringstream buffer;
+  WriteHeader(buffer, 0x1234, 1);
+  EXPECT_FALSE(ReadHeader(buffer, 0x1234, 2));  // Wrong version.
+  std::stringstream buffer2;
+  WriteHeader(buffer2, 0x1234, 1);
+  EXPECT_FALSE(ReadHeader(buffer2, 0x9999, 1));  // Wrong magic.
+  std::stringstream buffer3;
+  WriteHeader(buffer3, 0x1234, 1);
+  EXPECT_TRUE(ReadHeader(buffer3, 0x1234, 1));
+}
+
+}  // namespace
+}  // namespace stage

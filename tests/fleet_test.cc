@@ -1,0 +1,269 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "stage/common/rng.h"
+#include "stage/fleet/fleet.h"
+#include "stage/fleet/ground_truth.h"
+#include "stage/fleet/workload.h"
+#include "stage/plan/featurizer.h"
+
+namespace stage::fleet {
+namespace {
+
+FleetConfig SmallFleet(int instances = 3, int queries = 400) {
+  FleetConfig config;
+  config.num_instances = instances;
+  config.workload.num_queries = queries;
+  config.seed = 99;
+  return config;
+}
+
+TEST(InstanceTest, NodeTypesHaveNamesAndPositiveSpecs) {
+  for (int i = 0; i < static_cast<int>(NodeType::kNumNodeTypes); ++i) {
+    const auto type = static_cast<NodeType>(i);
+    EXPECT_FALSE(NodeTypeName(type).empty());
+    EXPECT_GT(NodeTypeSpeed(type), 0.0);
+    EXPECT_GT(NodeTypeMemoryGb(type), 0.0);
+  }
+}
+
+TEST(FleetTest, MakeInstanceIsDeterministic) {
+  FleetGenerator a(SmallFleet());
+  FleetGenerator b(SmallFleet());
+  const InstanceConfig x = a.MakeInstance(1);
+  const InstanceConfig y = b.MakeInstance(1);
+  EXPECT_EQ(x.node_type, y.node_type);
+  EXPECT_EQ(x.num_nodes, y.num_nodes);
+  EXPECT_EQ(x.schema.size(), y.schema.size());
+  EXPECT_DOUBLE_EQ(x.latent_speed_factor, y.latent_speed_factor);
+}
+
+TEST(FleetTest, InstancesAreDiverse) {
+  FleetGenerator generator(SmallFleet(20));
+  std::set<int> node_counts;
+  std::set<int> schema_sizes;
+  for (int i = 0; i < 20; ++i) {
+    const InstanceConfig instance = generator.MakeInstance(i);
+    node_counts.insert(instance.num_nodes);
+    schema_sizes.insert(static_cast<int>(instance.schema.size()));
+    EXPECT_GE(instance.schema.size(), 8u);
+    for (const plan::TableDef& table : instance.schema) {
+      EXPECT_GE(table.rows, 1e3);
+      EXPECT_LE(table.rows, 1e10);
+    }
+  }
+  EXPECT_GE(node_counts.size(), 3u);
+  EXPECT_GE(schema_sizes.size(), 10u);
+}
+
+TEST(FleetTest, TraceSortedByArrivalWithPositiveTimes) {
+  FleetGenerator generator(SmallFleet());
+  const InstanceTrace trace = generator.MakeInstanceTrace(0);
+  ASSERT_EQ(trace.trace.size(), 400u);
+  for (size_t i = 0; i < trace.trace.size(); ++i) {
+    EXPECT_GT(trace.trace[i].exec_seconds, 0.0);
+    EXPECT_GE(trace.trace[i].arrival_ms, 0);
+    if (i > 0) {
+      EXPECT_GE(trace.trace[i].arrival_ms, trace.trace[i - 1].arrival_ms);
+    }
+  }
+}
+
+TEST(FleetTest, RepeatFractionRoughlyMatchesWorkload) {
+  FleetGenerator generator(SmallFleet(1, 3000));
+  const InstanceTrace trace = generator.MakeInstanceTrace(0);
+  double repeats = 0;
+  for (const QueryEvent& event : trace.trace) {
+    repeats += event.kind == QueryEvent::Kind::kRepeat ? 1 : 0;
+  }
+  const double fraction = repeats / static_cast<double>(trace.trace.size());
+  EXPECT_NEAR(fraction, trace.workload.repeat_fraction, 0.05);
+}
+
+TEST(FleetTest, RepeatsShareFeatureHashes) {
+  FleetGenerator generator(SmallFleet(1, 2000));
+  const InstanceTrace instance = generator.MakeInstanceTrace(0);
+  std::set<uint64_t> seen;
+  int hash_repeats = 0;
+  int kind_repeats = 0;
+  for (const QueryEvent& event : instance.trace) {
+    const uint64_t hash = plan::HashFeatures(plan::FlattenPlan(event.plan));
+    if (!seen.insert(hash).second) ++hash_repeats;
+    kind_repeats += event.kind == QueryEvent::Kind::kRepeat ? 1 : 0;
+  }
+  // Every template re-execution after the first shares its hash, so the
+  // number of hash-repeats is at least (kind repeats - one first-execution
+  // per template).
+  EXPECT_GT(hash_repeats,
+            kind_repeats - (instance.workload.num_templates + 20));
+}
+
+TEST(GroundTruthTest, MoreWorkTakesLonger) {
+  FleetGenerator generator(SmallFleet());
+  const InstanceConfig instance = generator.MakeInstance(0);
+  GroundTruthModel model;
+
+  plan::PlanNode small_scan;
+  small_scan.op = plan::OperatorType::kSeqScanLocal;
+  small_scan.table_rows = 1e4;
+  small_scan.actual_cardinality = 1e4;
+  small_scan.tuple_width = 100;
+  plan::PlanNode big_scan = small_scan;
+  big_scan.table_rows = 1e9;
+  big_scan.actual_cardinality = 1e9;
+
+  const plan::Plan small_plan(plan::QueryType::kSelect, {small_scan});
+  const plan::Plan big_plan(plan::QueryType::kSelect, {big_scan});
+  EXPECT_LT(model.ExpectedExecSeconds(small_plan, instance, 0),
+            model.ExpectedExecSeconds(big_plan, instance, 0));
+}
+
+TEST(GroundTruthTest, ConcurrencyInflatesLatency) {
+  FleetGenerator generator(SmallFleet());
+  const InstanceConfig instance = generator.MakeInstance(0);
+  GroundTruthModel model;
+  plan::PlanNode scan;
+  scan.op = plan::OperatorType::kSeqScanLocal;
+  scan.table_rows = 1e7;
+  scan.actual_cardinality = 1e6;
+  scan.tuple_width = 100;
+  const plan::Plan plan(plan::QueryType::kSelect, {scan});
+  const double idle = model.ExpectedExecSeconds(plan, instance, 0);
+  const double busy = model.ExpectedExecSeconds(plan, instance, 8);
+  EXPECT_GT(busy, idle * 1.5);
+}
+
+TEST(GroundTruthTest, BiggerClusterIsFaster) {
+  FleetGenerator generator(SmallFleet());
+  InstanceConfig instance = generator.MakeInstance(0);
+  GroundTruthModel model;
+  plan::PlanNode scan;
+  scan.op = plan::OperatorType::kSeqScanLocal;
+  scan.table_rows = 1e8;
+  scan.actual_cardinality = 1e7;
+  scan.tuple_width = 100;
+  const plan::Plan plan(plan::QueryType::kSelect, {scan});
+  instance.num_nodes = 2;
+  const double small = model.ExpectedExecSeconds(plan, instance, 0);
+  instance.num_nodes = 16;
+  const double big = model.ExpectedExecSeconds(plan, instance, 0);
+  EXPECT_LT(big, small);
+}
+
+TEST(GroundTruthTest, LatentFactorIsInstanceSpecific) {
+  // Identical plan + identical observable hardware but different latent
+  // factors must yield different exec-times: the paper's "nearly identical
+  // plans with drastically different performances" (§5.4).
+  FleetGenerator generator(SmallFleet());
+  InstanceConfig a = generator.MakeInstance(0);
+  InstanceConfig b = a;
+  b.latent_speed_factor = a.latent_speed_factor * 3.0;
+  GroundTruthModel model;
+  plan::PlanNode scan;
+  scan.op = plan::OperatorType::kSeqScanLocal;
+  scan.table_rows = 1e8;
+  scan.actual_cardinality = 1e7;
+  scan.tuple_width = 100;
+  const plan::Plan plan(plan::QueryType::kSelect, {scan});
+  // Work time scales by 1/latent (a fixed per-query overhead of a few ms
+  // stays constant, so the ratio is close to but not exactly 3).
+  const double slow = model.ExpectedExecSeconds(plan, a, 0);
+  const double fast = model.ExpectedExecSeconds(plan, b, 0);
+  EXPECT_GT(slow, fast * 2.5);
+  EXPECT_LT(slow, fast * 3.5);
+}
+
+TEST(GroundTruthTest, SampleAddsNoiseAroundExpectation) {
+  FleetGenerator generator(SmallFleet());
+  InstanceConfig instance = generator.MakeInstance(0);
+  instance.noise_sigma = 0.2;
+  instance.spike_probability = 0.0;
+  GroundTruthModel model;
+  plan::PlanNode scan;
+  scan.op = plan::OperatorType::kSeqScanLocal;
+  scan.table_rows = 1e8;
+  scan.actual_cardinality = 1e7;
+  scan.tuple_width = 100;
+  const plan::Plan plan(plan::QueryType::kSelect, {scan});
+  const double expected = model.ExpectedExecSeconds(plan, instance, 0);
+  Rng rng(3);
+  double log_sum = 0.0;
+  const int trials = 3000;
+  for (int i = 0; i < trials; ++i) {
+    log_sum += std::log(model.SampleExecSeconds(plan, instance, 0, 1.0, rng));
+  }
+  // Log-normal noise with mu=0: the log-mean should match log(expected).
+  EXPECT_NEAR(log_sum / trials, std::log(expected), 0.02);
+}
+
+TEST(WorkloadTest, DataGrowthMakesLaterRepeatsSlower) {
+  // With strong daily growth and no noise, the same template's executions
+  // trend upward over the trace.
+  FleetConfig config = SmallFleet(1, 4000);
+  FleetGenerator generator(config);
+  InstanceConfig instance = generator.MakeInstance(0);
+  instance.daily_data_growth = 0.2;
+  instance.noise_sigma = 0.01;
+  instance.spike_probability = 0.0;
+  instance.average_load = 0.0;
+
+  WorkloadConfig workload = config.workload;
+  workload.num_queries = 4000;
+  workload.repeat_fraction = 1.0;
+  workload.variant_fraction = 0.0;
+  workload.num_templates = 1;
+  workload.days = 10;
+  WorkloadGenerator wg(instance, config.generator, workload, 5);
+  const std::vector<QueryEvent> trace = wg.GenerateTrace();
+
+  // Compare average exec of the first day vs the last day.
+  double early = 0.0;
+  double late = 0.0;
+  int early_count = 0;
+  int late_count = 0;
+  const int64_t day_ms = 24 * 3600 * 1000;
+  for (const QueryEvent& event : trace) {
+    if (event.arrival_ms < day_ms) {
+      early += event.exec_seconds;
+      ++early_count;
+    } else if (event.arrival_ms >= 9 * day_ms) {
+      late += event.exec_seconds;
+      ++late_count;
+    }
+  }
+  ASSERT_GT(early_count, 10);
+  ASSERT_GT(late_count, 10);
+  EXPECT_GT(late / late_count, early / early_count);
+}
+
+// Property: ground-truth exec times are finite and positive for any plan
+// the generator can produce, on any instance.
+class GroundTruthPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GroundTruthPropertyTest, ExecTimesFiniteAndPositive) {
+  FleetGenerator fleet_generator(SmallFleet());
+  const InstanceConfig instance =
+      fleet_generator.MakeInstance(static_cast<int32_t>(GetParam() % 3));
+  plan::PlanGenerator generator(instance.schema, plan::GeneratorConfig{});
+  GroundTruthModel model;
+  Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    const plan::Plan plan = generator.Instantiate(generator.RandomSpec(rng));
+    const double expected = model.ExpectedExecSeconds(
+        plan, instance, static_cast<int>(rng.NextBelow(10)));
+    ASSERT_TRUE(std::isfinite(expected));
+    ASSERT_GT(expected, 0.0);
+    const double sampled =
+        model.SampleExecSeconds(plan, instance, 0, 1.0, rng);
+    ASSERT_TRUE(std::isfinite(sampled));
+    ASSERT_GT(sampled, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroundTruthPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace stage::fleet

@@ -1,0 +1,212 @@
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "stage/fleet/fleet.h"
+#include "stage/global/global_model.h"
+#include "stage/metrics/error_metrics.h"
+
+namespace stage::global {
+namespace {
+
+fleet::FleetConfig SmallFleet() {
+  fleet::FleetConfig config;
+  config.num_instances = 5;
+  config.workload.num_queries = 250;
+  config.seed = 7;
+  return config;
+}
+
+GlobalModelConfig FastConfig() {
+  GlobalModelConfig config;
+  config.hidden_dim = 24;
+  config.num_layers = 2;
+  config.head_hidden = {24};
+  config.epochs = 4;
+  return config;
+}
+
+TEST(SystemFeaturesTest, LayoutAndObservablesOnly) {
+  fleet::FleetGenerator generator(SmallFleet());
+  const fleet::InstanceConfig instance = generator.MakeInstance(0);
+  plan::PlanNode node;
+  node.op = plan::OperatorType::kSeqScanLocal;
+  node.estimated_cost = 5.0;
+  node.estimated_cardinality = 10.0;
+  const plan::Plan plan(plan::QueryType::kSelect, {node});
+
+  const std::vector<float> features = SystemFeatures(instance, plan, 3);
+  ASSERT_EQ(features.size(), static_cast<size_t>(kSystemFeatureDim));
+  // Node-type one-hot sums to exactly 1.
+  float onehot = 0.0f;
+  const int type_slots = static_cast<int>(fleet::NodeType::kNumNodeTypes);
+  for (int i = 0; i < type_slots; ++i) onehot += features[i];
+  EXPECT_EQ(onehot, 1.0f);
+  EXPECT_FLOAT_EQ(features[type_slots],
+                  std::log1p(static_cast<float>(instance.num_nodes)));
+  EXPECT_FLOAT_EQ(features[type_slots + 2], std::log1p(3.0f));
+
+  // The latent speed factor must NOT leak: two instances differing only in
+  // hidden parameters produce identical system features.
+  fleet::InstanceConfig shadow = instance;
+  shadow.latent_speed_factor *= 10.0;
+  shadow.noise_sigma = 0.9;
+  EXPECT_EQ(SystemFeatures(shadow, plan, 3), features);
+}
+
+TEST(GlobalExampleTest, TargetIsLogSpace) {
+  fleet::FleetGenerator generator(SmallFleet());
+  const fleet::InstanceConfig instance = generator.MakeInstance(0);
+  plan::PlanNode node;
+  node.op = plan::OperatorType::kSeqScanLocal;
+  const plan::Plan plan(plan::QueryType::kSelect, {node});
+  const GlobalExample example = MakeGlobalExample(plan, instance, 0, 10.0);
+  EXPECT_NEAR(example.target, std::log1p(10.0), 1e-12);
+  EXPECT_EQ(example.children.size(), 1u);
+  EXPECT_EQ(example.node_features.size(),
+            static_cast<size_t>(plan::kNodeFeatureDim));
+}
+
+TEST(GlobalModelTest, TrainsAndPredictsFinitePositive) {
+  fleet::FleetGenerator generator(SmallFleet());
+  const auto fleet = generator.GenerateFleet();
+  std::vector<GlobalExample> examples;
+  for (int i = 0; i < 3; ++i) {
+    for (const auto& event : fleet[i].trace) {
+      examples.push_back(MakeGlobalExample(event.plan, fleet[i].config,
+                                           event.concurrent_queries,
+                                           event.exec_seconds));
+    }
+  }
+  double val_mae = -1.0;
+  const GlobalModel model = GlobalModel::Train(examples, FastConfig(), &val_mae);
+  EXPECT_TRUE(model.trained());
+  EXPECT_GE(val_mae, 0.0);
+
+  for (const auto& event : fleet[4].trace) {
+    const double prediction = model.PredictSeconds(
+        event.plan, fleet[4].config, event.concurrent_queries);
+    EXPECT_TRUE(std::isfinite(prediction));
+    EXPECT_GE(prediction, 0.0);
+  }
+}
+
+TEST(GlobalModelTest, ZeroShotBeatsConstantBaseline) {
+  // Train on 6 instances, evaluate pooled over 4 unseen ones: the
+  // transferable model must beat predicting a constant (the paper's
+  // zero-shot premise). Pooling matters: any single instance's hidden
+  // latent factor makes a one-instance comparison a coin flip.
+  fleet::FleetConfig config = SmallFleet();
+  config.num_instances = 10;
+  config.workload.num_queries = 400;
+  fleet::FleetGenerator generator(config);
+  const auto fleet = generator.GenerateFleet();
+
+  std::vector<GlobalExample> examples;
+  for (int i = 0; i < 6; ++i) {
+    for (const auto& event : fleet[i].trace) {
+      examples.push_back(MakeGlobalExample(event.plan, fleet[i].config,
+                                           event.concurrent_queries,
+                                           event.exec_seconds));
+    }
+  }
+  GlobalModelConfig model_config = FastConfig();
+  model_config.epochs = 8;
+  const GlobalModel model = GlobalModel::Train(examples, model_config);
+
+  std::vector<double> actual;
+  std::vector<double> predicted;
+  for (size_t held_out = 6; held_out < fleet.size(); ++held_out) {
+    for (const auto& event : fleet[held_out].trace) {
+      actual.push_back(event.exec_seconds);
+      predicted.push_back(model.PredictSeconds(
+          event.plan, fleet[held_out].config, event.concurrent_queries));
+    }
+  }
+  const std::vector<double> constant(actual.size(), 1.0);
+  const double model_q50 =
+      metrics::Summarize(metrics::QErrors(actual, predicted)).p50;
+  const double const_q50 =
+      metrics::Summarize(metrics::QErrors(actual, constant)).p50;
+  EXPECT_LT(model_q50, const_q50);
+}
+
+TEST(GlobalModelTest, MoreEpochsReduceValidationError) {
+  fleet::FleetGenerator generator(SmallFleet());
+  const auto fleet = generator.GenerateFleet();
+  std::vector<GlobalExample> examples;
+  for (int i = 0; i < 4; ++i) {
+    for (const auto& event : fleet[i].trace) {
+      examples.push_back(MakeGlobalExample(event.plan, fleet[i].config,
+                                           event.concurrent_queries,
+                                           event.exec_seconds));
+    }
+  }
+  GlobalModelConfig short_config = FastConfig();
+  short_config.epochs = 1;
+  GlobalModelConfig long_config = FastConfig();
+  long_config.epochs = 8;
+  double short_mae = 0.0;
+  double long_mae = 0.0;
+  GlobalModel::Train(examples, short_config, &short_mae);
+  GlobalModel::Train(examples, long_config, &long_mae);
+  EXPECT_LT(long_mae, short_mae * 1.05);  // Usually strictly better.
+}
+
+TEST(GlobalModelTest, PredictFromExampleMatchesPredictSeconds) {
+  fleet::FleetGenerator generator(SmallFleet());
+  const auto fleet = generator.GenerateFleet();
+  std::vector<GlobalExample> examples;
+  for (const auto& event : fleet[0].trace) {
+    examples.push_back(MakeGlobalExample(event.plan, fleet[0].config,
+                                         event.concurrent_queries,
+                                         event.exec_seconds));
+  }
+  const GlobalModel model = GlobalModel::Train(examples, FastConfig());
+  const auto& event = fleet[0].trace[5];
+  const GlobalExample example = MakeGlobalExample(
+      event.plan, fleet[0].config, event.concurrent_queries, 0.0);
+  EXPECT_DOUBLE_EQ(
+      model.PredictSecondsFromExample(example),
+      model.PredictSeconds(event.plan, fleet[0].config,
+                           event.concurrent_queries));
+}
+
+TEST(GlobalModelTest, SaveLoadRoundTripPreservesPredictions) {
+  fleet::FleetGenerator generator(SmallFleet());
+  const auto fleet = generator.GenerateFleet();
+  std::vector<GlobalExample> examples;
+  for (const auto& event : fleet[0].trace) {
+    examples.push_back(MakeGlobalExample(event.plan, fleet[0].config,
+                                         event.concurrent_queries,
+                                         event.exec_seconds));
+  }
+  const GlobalModel original = GlobalModel::Train(examples, FastConfig());
+
+  std::stringstream buffer;
+  original.Save(buffer);
+  GlobalModel restored;
+  ASSERT_TRUE(restored.Load(buffer));
+  EXPECT_TRUE(restored.trained());
+  EXPECT_EQ(restored.MemoryBytes(), original.MemoryBytes());
+
+  for (int i = 0; i < 20; ++i) {
+    const auto& event = fleet[1].trace[i];
+    EXPECT_DOUBLE_EQ(
+        original.PredictSeconds(event.plan, fleet[1].config,
+                                event.concurrent_queries),
+        restored.PredictSeconds(event.plan, fleet[1].config,
+                                event.concurrent_queries));
+  }
+}
+
+TEST(GlobalModelTest, LoadRejectsGarbage) {
+  GlobalModel model;
+  std::stringstream garbage("this is not a checkpoint");
+  EXPECT_FALSE(model.Load(garbage));
+  EXPECT_FALSE(model.trained());
+}
+
+}  // namespace
+}  // namespace stage::global

@@ -1,0 +1,190 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stage/common/rng.h"
+#include "stage/fleet/fleet.h"
+#include "stage/fleet/ground_truth.h"
+#include "stage/global/global_model.h"
+#include "stage/mview/advisor.h"
+#include "stage/plan/featurizer.h"
+
+namespace stage::mview {
+namespace {
+
+plan::PlanGenerator TestGenerator() {
+  std::vector<plan::TableDef> schema = {
+      {0, 5e7, 100.0, plan::S3Format::kLocal},
+      {1, 2e7, 60.0, plan::S3Format::kLocal},
+      {2, 1e6, 200.0, plan::S3Format::kLocal},
+  };
+  return plan::PlanGenerator(std::move(schema), plan::GeneratorConfig{});
+}
+
+// A deterministic 3-way join spec with an aggregate on top.
+plan::PlanSpec JoinSpec() {
+  plan::PlanSpec spec;
+  for (int i = 0; i < 3; ++i) {
+    plan::PlanSpec::ScanSpec scan;
+    scan.table_index = i;
+    scan.selectivity = 0.1;
+    scan.cardinality_error = 1.5;
+    spec.scans.push_back(scan);
+  }
+  spec.join_selectivity = {0.5, 0.3};
+  spec.join_cardinality_error = {1.2, 0.8};
+  spec.join_strategy = {plan::PlanSpec::JoinStrategy::kHashLocal,
+                        plan::PlanSpec::JoinStrategy::kHashDistribute};
+  spec.join_materialized = {false, false};
+  spec.has_aggregate = true;
+  spec.aggregate_fraction = 0.01;
+  return spec;
+}
+
+TEST(MaterializePrefixTest, RejectsDegeneratePrefixes) {
+  const plan::PlanGenerator generator = TestGenerator();
+  ViewDefinition view;
+  view.source = JoinSpec();
+  view.prefix_scans = 1;
+  EXPECT_FALSE(MaterializePrefix(view, generator, 100).has_value());
+  view.prefix_scans = 4;  // More scans than the template has.
+  EXPECT_FALSE(MaterializePrefix(view, generator, 100).has_value());
+}
+
+TEST(MaterializePrefixTest, RewrittenSpecShapeIsConsistent) {
+  const plan::PlanGenerator generator = TestGenerator();
+  ViewDefinition view;
+  view.source = JoinSpec();
+  view.prefix_scans = 2;
+  const auto rewritten = MaterializePrefix(view, generator, 100);
+  ASSERT_TRUE(rewritten.has_value());
+  // 3 scans with a 2-scan prefix folded: 2 scans remain, 1 join.
+  EXPECT_EQ(rewritten->rewritten.scans.size(), 2u);
+  EXPECT_EQ(rewritten->rewritten.join_selectivity.size(), 1u);
+  EXPECT_EQ(rewritten->rewritten.join_strategy.size(), 1u);
+  // The view scan reads the whole materialized table.
+  EXPECT_DOUBLE_EQ(rewritten->rewritten.scans[0].selectivity, 1.0);
+  // View row count: max(5e6, 2e6) * 0.5 = 2.5e6 estimated.
+  EXPECT_NEAR(rewritten->view_table.rows, 2.5e6, 1.0);
+}
+
+TEST(MaterializePrefixTest, RewrittenPlanInstantiatesAndPreservesTruth) {
+  const plan::PlanGenerator generator = TestGenerator();
+  ViewDefinition view;
+  view.source = JoinSpec();
+  view.prefix_scans = 3;  // Whole join tree.
+  const auto rewritten = MaterializePrefix(
+      view, generator, static_cast<int32_t>(generator.schema().size()));
+  ASSERT_TRUE(rewritten.has_value());
+
+  std::vector<plan::TableDef> extended = generator.schema();
+  extended.push_back(rewritten->view_table);
+  const plan::PlanGenerator extended_generator(std::move(extended),
+                                               generator.config());
+  const plan::Plan before = generator.Instantiate(view.source);
+  const plan::Plan after =
+      extended_generator.Instantiate(rewritten->rewritten);
+  ASSERT_TRUE(after.IsValidTree());
+  EXPECT_LT(after.node_count(), before.node_count());
+
+  // The hidden truth is preserved: the view scan's ACTUAL output matches
+  // the original join tree's actual output (found below the aggregate).
+  double before_join_actual = -1.0;
+  for (const auto& node : before.nodes()) {
+    if (node.op == plan::OperatorType::kHashJoinLocal ||
+        node.op == plan::OperatorType::kHashJoinDist) {
+      before_join_actual = node.actual_cardinality;
+      break;  // Pre-order: the first join is the top of the join tree.
+    }
+  }
+  double after_scan_actual = -1.0;
+  for (const auto& node : after.nodes()) {
+    if (plan::ReadsBaseTable(node.op)) {
+      after_scan_actual = node.actual_cardinality;
+      break;
+    }
+  }
+  ASSERT_GT(before_join_actual, 0.0);
+  EXPECT_NEAR(after_scan_actual / before_join_actual, 1.0, 1e-6);
+}
+
+TEST(MaterializePrefixTest, ViewScanIsActuallyCheaperInGroundTruth) {
+  // The whole point of the view: the executor skips the join work.
+  const plan::PlanGenerator generator = TestGenerator();
+  fleet::FleetConfig fleet_config;
+  fleet_config.num_instances = 1;
+  fleet::FleetGenerator fleet_generator(fleet_config);
+  const fleet::InstanceConfig instance = fleet_generator.MakeInstance(0);
+  const fleet::GroundTruthModel truth;
+
+  ViewDefinition view;
+  view.source = JoinSpec();
+  view.prefix_scans = 3;
+  const auto rewritten = MaterializePrefix(
+      view, generator, static_cast<int32_t>(generator.schema().size()));
+  ASSERT_TRUE(rewritten.has_value());
+  std::vector<plan::TableDef> extended = generator.schema();
+  extended.push_back(rewritten->view_table);
+  const plan::PlanGenerator extended_generator(std::move(extended),
+                                               generator.config());
+
+  const double before_seconds = truth.ExpectedExecSeconds(
+      generator.Instantiate(view.source), instance, 0);
+  const double after_seconds = truth.ExpectedExecSeconds(
+      extended_generator.Instantiate(rewritten->rewritten), instance, 0);
+  EXPECT_LT(after_seconds, before_seconds);
+}
+
+TEST(AdvisorTest, RecommendsHotExpensiveTemplateFirst) {
+  // Train a quick global model on the instance's own workload, then ask
+  // the advisor to rank two candidates: a hot expensive join template and
+  // a rarely-run cheap one.
+  fleet::FleetConfig fleet_config;
+  fleet_config.num_instances = 1;
+  fleet_config.workload.num_queries = 400;
+  fleet_config.seed = 31;
+  fleet::FleetGenerator fleet_generator(fleet_config);
+  const fleet::InstanceTrace instance = fleet_generator.MakeInstanceTrace(0);
+
+  std::vector<global::GlobalExample> examples;
+  for (const auto& event : instance.trace) {
+    examples.push_back(global::MakeGlobalExample(
+        event.plan, instance.config, event.concurrent_queries,
+        event.exec_seconds));
+  }
+  global::GlobalModelConfig model_config;
+  model_config.hidden_dim = 24;
+  model_config.num_layers = 2;
+  model_config.epochs = 3;
+  const global::GlobalModel model =
+      global::GlobalModel::Train(examples, model_config);
+
+  const plan::PlanGenerator generator(instance.config.schema,
+                                      fleet_config.generator);
+  Rng rng(5);
+  // Expensive join template vs a single-scan template (not viewable).
+  plan::PlanSpec expensive = JoinSpec();
+  // Remap tables into this instance's schema range.
+  for (size_t i = 0; i < expensive.scans.size(); ++i) {
+    expensive.scans[i].table_index =
+        static_cast<int32_t>(i % instance.config.schema.size());
+  }
+  plan::PlanSpec cheap;
+  plan::PlanSpec::ScanSpec scan;
+  scan.table_index = 0;
+  scan.selectivity = 1e-4;
+  cheap.scans.push_back(scan);
+
+  const auto recommendations = RecommendViews(
+      {expensive, cheap}, {500.0, 1.0}, generator, model, instance.config,
+      AdvisorConfig{});
+  // The cheap single-scan template cannot host a view; if anything is
+  // recommended it must be the expensive template.
+  for (const auto& recommendation : recommendations) {
+    EXPECT_EQ(recommendation.view.source.scans.size(), 3u);
+    EXPECT_GT(recommendation.predicted_daily_benefit_seconds, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace stage::mview

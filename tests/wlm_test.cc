@@ -1,0 +1,303 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stage/common/rng.h"
+#include "stage/wlm/trace_util.h"
+#include "stage/wlm/workload_manager.h"
+
+namespace stage::wlm {
+namespace {
+
+// Builds a minimal trace; plans are single-node dummies (the simulator only
+// reads arrival_ms and exec_seconds).
+std::vector<fleet::QueryEvent> MakeTrace(
+    const std::vector<std::pair<int64_t, double>>& arrivals_and_exec) {
+  std::vector<fleet::QueryEvent> trace;
+  plan::PlanNode node;
+  node.op = plan::OperatorType::kSeqScanLocal;
+  node.table_rows = 1;
+  node.s3_format = plan::S3Format::kLocal;
+  for (const auto& [arrival, exec] : arrivals_and_exec) {
+    fleet::QueryEvent event;
+    event.arrival_ms = arrival;
+    event.exec_seconds = exec;
+    event.plan = plan::Plan(plan::QueryType::kSelect, {node});
+    trace.push_back(std::move(event));
+  }
+  return trace;
+}
+
+WlmConfig BasicConfig() {
+  WlmConfig config;
+  config.short_slots = 1;
+  config.long_slots = 1;
+  config.short_threshold_seconds = 5.0;
+  return config;
+}
+
+TEST(WlmTest, EveryQueryCompletesWithSaneLatency) {
+  Rng rng(3);
+  std::vector<std::pair<int64_t, double>> spec;
+  int64_t t = 0;
+  for (int i = 0; i < 500; ++i) {
+    t += static_cast<int64_t>(rng.NextExponential(0.001));
+    spec.emplace_back(t, rng.NextLogNormal(0.0, 1.5));
+  }
+  const auto trace = MakeTrace(spec);
+  std::vector<double> predictions;
+  for (const auto& event : trace) {
+    predictions.push_back(event.exec_seconds);  // Oracle.
+  }
+  const WlmResult result = SimulateWlm(trace, predictions, BasicConfig());
+  ASSERT_EQ(result.latency_seconds.size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    // Latency = wait + exec, never less than exec.
+    EXPECT_GE(result.latency_seconds[i], trace[i].exec_seconds - 1e-9);
+    EXPECT_NEAR(result.latency_seconds[i],
+                result.wait_seconds[i] + trace[i].exec_seconds, 1e-6);
+  }
+  EXPECT_EQ(result.short_queue_admissions + result.long_queue_admissions,
+            static_cast<int>(trace.size()));
+}
+
+TEST(WlmTest, UncontendedQueryHasZeroWait) {
+  const auto trace = MakeTrace({{0, 1.0}});
+  const WlmResult result = SimulateWlm(trace, {1.0}, BasicConfig());
+  EXPECT_DOUBLE_EQ(result.wait_seconds[0], 0.0);
+  EXPECT_DOUBLE_EQ(result.latency_seconds[0], 1.0);
+}
+
+TEST(WlmTest, ShortQueueClassificationUsesPrediction) {
+  const auto trace = MakeTrace({{0, 1.0}, {0, 100.0}});
+  WlmConfig config = BasicConfig();
+  // Both predicted short: both go to the short queue.
+  WlmResult result = SimulateWlm(trace, {1.0, 1.0}, config);
+  EXPECT_EQ(result.short_queue_admissions, 2);
+  // Correct predictions split them.
+  result = SimulateWlm(trace, {1.0, 100.0}, config);
+  EXPECT_EQ(result.short_queue_admissions, 1);
+  EXPECT_EQ(result.long_queue_admissions, 1);
+}
+
+TEST(WlmTest, HeadOfLineBlockingFromMisprediction) {
+  // A long query (100s) mispredicted short runs first in the short queue;
+  // the true short query behind it waits ~100s. With a correct prediction
+  // the short query runs immediately.
+  const auto trace = MakeTrace({{0, 100.0}, {1, 0.5}});
+  WlmConfig config = BasicConfig();
+
+  const WlmResult wrong = SimulateWlm(trace, {0.5, 0.5}, config);
+  EXPECT_GT(wrong.wait_seconds[1], 90.0);
+
+  const WlmResult right = SimulateWlm(trace, {100.0, 0.5}, config);
+  EXPECT_LT(right.wait_seconds[1], 1.0);
+}
+
+TEST(WlmTest, SjfOrdersLongQueueByPrediction) {
+  // Three long queries arrive while the long slot is busy. With SJF the
+  // shortest-predicted runs first.
+  const auto trace =
+      MakeTrace({{0, 50.0}, {1000, 30.0}, {1001, 10.0}, {1002, 20.0}});
+  WlmConfig config = BasicConfig();
+  config.sjf_long_queue = true;
+  const std::vector<double> oracle = {50.0, 30.0, 10.0, 20.0};
+  const WlmResult sjf = SimulateWlm(trace, oracle, config);
+  // Query 2 (10s) should finish before query 1 (30s) despite arriving later.
+  EXPECT_LT(sjf.latency_seconds[2] + 1.0, sjf.latency_seconds[1]);
+
+  config.sjf_long_queue = false;
+  const WlmResult fifo = SimulateWlm(trace, oracle, config);
+  // FIFO: query 1 runs before query 2.
+  EXPECT_LT(fifo.latency_seconds[1] - 30.0,
+            fifo.latency_seconds[2] - 10.0 + 1e-9);
+}
+
+TEST(WlmTest, BetterPredictionsDoNotHurtAverageLatency) {
+  // Property: on a contended workload, oracle predictions should beat
+  // random ones on average latency (the core premise of Fig. 6).
+  Rng rng(7);
+  std::vector<std::pair<int64_t, double>> spec;
+  int64_t t = 0;
+  for (int i = 0; i < 800; ++i) {
+    t += static_cast<int64_t>(rng.NextExponential(0.002));
+    spec.emplace_back(t, rng.NextLogNormal(0.5, 1.8));
+  }
+  const auto trace = MakeTrace(spec);
+
+  std::vector<double> oracle;
+  std::vector<double> shuffled;
+  for (const auto& event : trace) oracle.push_back(event.exec_seconds);
+  shuffled = oracle;
+  // Random predictions: permute the true times.
+  Rng rng2(8);
+  for (size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng2.NextBelow(i)]);
+  }
+
+  WlmConfig config = BasicConfig();
+  config.short_slots = 2;
+  config.long_slots = 2;
+  const double oracle_avg =
+      SimulateWlm(trace, oracle, config).AverageLatency();
+  const double random_avg =
+      SimulateWlm(trace, shuffled, config).AverageLatency();
+  EXPECT_LT(oracle_avg, random_avg);
+}
+
+TEST(WlmTest, ConcurrencyScalingRescuesStarvedQueries) {
+  // One hour-long query holds the long slot; a second long query would wait
+  // the full hour without scaling, but off-loads with scaling enabled.
+  const auto trace = MakeTrace({{0, 3600.0}, {1000, 60.0}});
+  WlmConfig config = BasicConfig();
+  config.enable_concurrency_scaling = false;
+  const WlmResult without = SimulateWlm(trace, {3600.0, 60.0}, config);
+  EXPECT_GT(without.wait_seconds[1], 3000.0);
+
+  config.enable_concurrency_scaling = true;
+  config.scaling_wait_threshold_seconds = 120.0;
+  const WlmResult with = SimulateWlm(trace, {3600.0, 60.0}, config);
+  EXPECT_LT(with.wait_seconds[1], 130.0);
+  EXPECT_EQ(with.scaling_offloads, 1);
+}
+
+TEST(TraceUtilTest, UtilizationMatchesHandComputation) {
+  // Two queries of 10s each over a 100s span on 1 slot: utilization 0.2.
+  const auto trace = MakeTrace({{0, 10.0}, {100000, 10.0}});
+  EXPECT_NEAR(TraceUtilization(trace, 1), 0.2, 1e-9);
+  EXPECT_NEAR(TraceUtilization(trace, 2), 0.1, 1e-9);
+}
+
+TEST(TraceUtilTest, CompressArrivalsScalesTimeline) {
+  const auto trace = MakeTrace({{0, 1.0}, {10000, 1.0}, {20000, 1.0}});
+  const auto compressed = CompressArrivals(trace, 2.0);
+  EXPECT_EQ(compressed[1].arrival_ms, 5000);
+  EXPECT_EQ(compressed[2].arrival_ms, 10000);
+  // Execution times untouched.
+  EXPECT_DOUBLE_EQ(compressed[1].exec_seconds, 1.0);
+}
+
+TEST(TraceUtilTest, CompressToUtilizationHitsTarget) {
+  Rng rng(5);
+  std::vector<std::pair<int64_t, double>> spec;
+  int64_t t = 0;
+  for (int i = 0; i < 300; ++i) {
+    t += static_cast<int64_t>(rng.NextExponential(0.0001));
+    spec.emplace_back(t, rng.NextLogNormal(0.0, 1.0));
+  }
+  const auto trace = MakeTrace(spec);
+  const auto compressed = CompressToUtilization(trace, 4, 0.8);
+  EXPECT_NEAR(TraceUtilization(compressed, 4), 0.8, 0.01);
+  // Already-loaded traces are returned unchanged.
+  const auto untouched = CompressToUtilization(compressed, 4, 0.5);
+  EXPECT_EQ(untouched.front().arrival_ms, compressed.front().arrival_ms);
+  EXPECT_EQ(untouched.back().arrival_ms, compressed.back().arrival_ms);
+}
+
+TEST(WlmTest, FullyLoadedSystemStillCompletesEverything) {
+  // Utilization > 1: the queue grows, but conservation must hold.
+  Rng rng(11);
+  std::vector<std::pair<int64_t, double>> spec;
+  int64_t t = 0;
+  for (int i = 0; i < 300; ++i) {
+    t += 100;  // 10 arrivals/second.
+    spec.emplace_back(t, rng.NextLogNormal(1.0, 1.0));
+  }
+  const auto trace = MakeTrace(spec);
+  std::vector<double> predictions;
+  for (const auto& event : trace) predictions.push_back(event.exec_seconds);
+  WlmConfig config = BasicConfig();
+  const WlmResult result = SimulateWlm(trace, predictions, config);
+  ASSERT_EQ(result.latency_seconds.size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_GE(result.latency_seconds[i], trace[i].exec_seconds - 1e-9);
+  }
+}
+
+TEST(WlmTest, SimultaneousArrivalsAllComplete) {
+  const auto trace = MakeTrace({{0, 1.0}, {0, 2.0}, {0, 3.0}, {0, 0.5}});
+  const std::vector<double> predictions = {1.0, 2.0, 3.0, 0.5};
+  const WlmResult result = SimulateWlm(trace, predictions, BasicConfig());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_GT(result.latency_seconds[i], 0.0);
+  }
+}
+
+// Independent schedule-validity checker: reconstruct every query's
+// execution interval from the simulator's outputs and verify (a) pool
+// capacities are never exceeded at any instant and (b) the scheduler is
+// work-conserving — whenever a query waits, its pool is saturated.
+TEST(WlmTest, ScheduleRespectsCapacityAndWorkConservation) {
+  Rng rng(21);
+  std::vector<std::pair<int64_t, double>> spec;
+  int64_t t = 0;
+  for (int i = 0; i < 400; ++i) {
+    t += static_cast<int64_t>(rng.NextExponential(0.003));
+    spec.emplace_back(t, rng.NextLogNormal(0.3, 1.5));
+  }
+  const auto trace = MakeTrace(spec);
+  std::vector<double> predictions;
+  Rng rng2(22);
+  for (const auto& event : trace) {
+    // Noisy predictions so both queues see traffic.
+    predictions.push_back(event.exec_seconds *
+                          rng2.NextLogNormal(0.0, 0.5));
+  }
+  WlmConfig config;
+  config.short_slots = 2;
+  config.long_slots = 2;
+  const WlmResult result = SimulateWlm(trace, predictions, config);
+
+  struct Interval {
+    double start, finish;
+    int pool;
+  };
+  std::vector<Interval> intervals(trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const double arrival = trace[i].arrival_ms / 1000.0;
+    intervals[i] = {arrival + result.wait_seconds[i],
+                    arrival + result.latency_seconds[i],
+                    static_cast<int>(result.pool[i])};
+    EXPECT_NEAR(intervals[i].finish - intervals[i].start,
+                trace[i].exec_seconds, 1e-6);
+  }
+
+  const int slots[2] = {config.short_slots, config.long_slots};
+  for (size_t i = 0; i < trace.size(); ++i) {
+    // (a) Capacity at this query's start instant (+epsilon inside).
+    const double probe = intervals[i].start + 1e-9;
+    int running = 0;
+    for (const Interval& other : intervals) {
+      if (other.pool == intervals[i].pool && other.start <= probe &&
+          other.finish > probe) {
+        ++running;
+      }
+    }
+    ASSERT_LE(running, slots[intervals[i].pool]) << "query " << i;
+
+    // (b) Work conservation: if the query waited, its pool must have been
+    // full at every instant of the wait. Probe the midpoint of the wait.
+    if (result.wait_seconds[i] > 1e-6) {
+      const double mid =
+          trace[i].arrival_ms / 1000.0 + result.wait_seconds[i] / 2.0;
+      int busy = 0;
+      for (const Interval& other : intervals) {
+        if (other.pool == intervals[i].pool && other.start <= mid &&
+            other.finish > mid) {
+          ++busy;
+        }
+      }
+      EXPECT_GE(busy, slots[intervals[i].pool]) << "query " << i;
+    }
+  }
+}
+
+TEST(WlmTest, QuantileAndAverageAccessors) {
+  WlmResult result;
+  result.latency_seconds = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(result.AverageLatency(), 2.5);
+  EXPECT_DOUBLE_EQ(result.LatencyQuantile(0.5), 2.5);
+}
+
+}  // namespace
+}  // namespace stage::wlm

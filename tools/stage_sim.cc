@@ -1,0 +1,296 @@
+// stage_sim: command-line driver for the Stage predictor simulation.
+//
+// Subcommands:
+//   trace         Generate a synthetic instance trace and print a summary
+//                 (or per-query CSV with --csv).
+//   train-global  Train the fleet-level global model and checkpoint it.
+//   replay        Replay instances with Stage + AutoWLM, print accuracy
+//                 tables (optionally loading a global checkpoint).
+//   wlm           End-to-end workload-manager comparison (Fig. 6 style).
+//
+// Examples:
+//   stage_sim trace --instances=2 --queries=500
+//   stage_sim train-global --instances=12 --queries=1000 --out=global.bin
+//   stage_sim replay --instances=4 --queries=2000 --global=global.bin
+//   stage_sim wlm --instances=4 --queries=2000 --utilization=0.75
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "stage/common/flags.h"
+#include "stage/common/stats.h"
+#include "stage/core/autowlm.h"
+#include "stage/core/replay.h"
+#include "stage/core/stage_predictor.h"
+#include "stage/fleet/fleet.h"
+#include "stage/global/global_model.h"
+#include "stage/metrics/error_metrics.h"
+#include "stage/metrics/report.h"
+#include "stage/wlm/trace_util.h"
+#include "stage/wlm/workload_manager.h"
+
+using namespace stage;
+
+namespace {
+
+const std::vector<std::string> kKnownFlags = {
+    "instances", "queries",  "seed",        "csv",  "out",
+    "global",    "members",  "rounds",      "help", "utilization",
+    "short_slots", "long_slots"};
+
+void PrintUsage() {
+  std::printf(
+      "usage: stage_sim <trace|train-global|replay|wlm> [flags]\n"
+      "  common flags: --instances=N --queries=N --seed=N\n"
+      "  trace:        --csv (per-query CSV to stdout)\n"
+      "  train-global: --out=FILE (checkpoint path, default global.bin)\n"
+      "  replay:       --global=FILE --members=K --rounds=R --csv\n"
+      "  wlm:          --global=FILE --utilization=U --short_slots=N "
+      "--long_slots=N\n");
+}
+
+fleet::FleetConfig FleetFromFlags(const Flags& flags) {
+  fleet::FleetConfig config;
+  config.num_instances = static_cast<int>(flags.GetInt("instances", 4));
+  config.workload.num_queries =
+      static_cast<int>(flags.GetInt("queries", 2000));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 2024));
+  return config;
+}
+
+core::StagePredictorConfig StageConfigFromFlags(const Flags& flags) {
+  core::StagePredictorConfig config;
+  config.local.ensemble.num_members =
+      static_cast<int>(flags.GetInt("members", 10));
+  config.local.ensemble.member.num_rounds =
+      static_cast<int>(flags.GetInt("rounds", 100));
+  return config;
+}
+
+int RunTrace(const Flags& flags) {
+  fleet::FleetGenerator generator(FleetFromFlags(flags));
+  const bool csv = flags.GetBool("csv", false);
+  if (csv) {
+    std::printf("instance,arrival_ms,exec_seconds,kind,template_id,"
+                "concurrent,nodes,depth\n");
+  }
+  for (int i = 0; i < generator.config().num_instances; ++i) {
+    const fleet::InstanceTrace instance = generator.MakeInstanceTrace(i);
+    if (csv) {
+      for (const auto& event : instance.trace) {
+        std::printf("%d,%lld,%.6f,%d,%llu,%d,%d,%d\n", i,
+                    static_cast<long long>(event.arrival_ms),
+                    event.exec_seconds, static_cast<int>(event.kind),
+                    static_cast<unsigned long long>(event.template_id),
+                    event.concurrent_queries, event.plan.node_count(),
+                    event.plan.Depth());
+      }
+      continue;
+    }
+    double repeats = 0;
+    std::vector<double> latencies;
+    for (const auto& event : instance.trace) {
+      repeats += event.kind == fleet::QueryEvent::Kind::kRepeat ? 1 : 0;
+      latencies.push_back(event.exec_seconds);
+    }
+    std::printf(
+        "instance %d: %s x%d, %zu tables, %zu queries, %.0f%% repeats, "
+        "p50 exec %.2fs, p99 %.1fs\n",
+        i, std::string(fleet::NodeTypeName(instance.config.node_type)).c_str(),
+        instance.config.num_nodes, instance.config.schema.size(),
+        instance.trace.size(), 100.0 * repeats / instance.trace.size(),
+        Quantile(latencies, 0.5), Quantile(latencies, 0.99));
+  }
+  return 0;
+}
+
+int RunTrainGlobal(const Flags& flags) {
+  fleet::FleetConfig config = FleetFromFlags(flags);
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 777));
+  fleet::FleetGenerator generator(config);
+  std::vector<global::GlobalExample> examples;
+  for (const auto& instance : generator.GenerateFleet()) {
+    for (const auto& event : instance.trace) {
+      examples.push_back(global::MakeGlobalExample(
+          event.plan, instance.config, event.concurrent_queries,
+          event.exec_seconds));
+    }
+  }
+  std::printf("training on %zu examples from %d instances...\n",
+              examples.size(), config.num_instances);
+  global::GlobalModelConfig model_config;
+  double val_mae = 0.0;
+  const global::GlobalModel model =
+      global::GlobalModel::Train(examples, model_config, &val_mae);
+  std::printf("validation MAE (log space): %.4f\n", val_mae);
+
+  const std::string path = flags.GetString("out", "global.bin");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  model.Save(out);
+  std::printf("checkpoint written to %s (%zu parameter bytes)\n",
+              path.c_str(), model.MemoryBytes());
+  return 0;
+}
+
+bool MaybeLoadGlobal(const Flags& flags, global::GlobalModel* model,
+                     bool* loaded) {
+  *loaded = false;
+  const std::string path = flags.GetString("global", "");
+  if (path.empty()) return true;
+  std::ifstream in(path, std::ios::binary);
+  if (!in || !model->Load(in)) {
+    std::fprintf(stderr, "error: failed to load global model from %s\n",
+                 path.c_str());
+    return false;
+  }
+  *loaded = true;
+  return true;
+}
+
+int RunReplay(const Flags& flags) {
+  global::GlobalModel global_model;
+  bool use_global = false;
+  if (!MaybeLoadGlobal(flags, &global_model, &use_global)) return 1;
+
+  fleet::FleetGenerator generator(FleetFromFlags(flags));
+  const bool csv = flags.GetBool("csv", false);
+  if (csv) {
+    std::printf("instance,query,actual,stage_pred,stage_source,autowlm_pred\n");
+  }
+
+  std::vector<double> actual;
+  std::vector<double> stage_pred;
+  std::vector<double> autowlm_pred;
+  for (int i = 0; i < generator.config().num_instances; ++i) {
+    const fleet::InstanceTrace instance = generator.MakeInstanceTrace(i);
+    core::StagePredictor stage(StageConfigFromFlags(flags),
+                               use_global ? &global_model : nullptr,
+                               &instance.config);
+    core::AutoWlmPredictor autowlm{core::AutoWlmConfig{}};
+    const auto stage_result = core::ReplayTrace(instance.trace, stage);
+    const auto autowlm_result = core::ReplayTrace(instance.trace, autowlm);
+    for (size_t q = 0; q < stage_result.records.size(); ++q) {
+      actual.push_back(stage_result.records[q].actual_seconds);
+      stage_pred.push_back(stage_result.records[q].predicted_seconds);
+      autowlm_pred.push_back(autowlm_result.records[q].predicted_seconds);
+      if (csv) {
+        std::printf(
+            "%d,%zu,%.6f,%.6f,%s,%.6f\n", i, q, actual.back(),
+            stage_pred.back(),
+            std::string(core::PredictionSourceName(
+                            stage_result.records[q].source))
+                .c_str(),
+            autowlm_pred.back());
+      }
+    }
+    std::fprintf(stderr, "[stage_sim] instance %d replayed\n", i);
+  }
+  if (csv) return 0;
+
+  const auto stage_summary = metrics::SummarizeByBucket(
+      actual, metrics::AbsoluteErrors(actual, stage_pred));
+  const auto autowlm_summary = metrics::SummarizeByBucket(
+      actual, metrics::AbsoluteErrors(actual, autowlm_pred));
+  metrics::TextTable table;
+  table.SetHeader({"Bucket", "# Queries", "Stage MAE", "P50", "P90",
+                   "AutoWLM MAE", "P50", "P90"});
+  const auto add = [&](const std::string& name,
+                       const metrics::ErrorSummary& a,
+                       const metrics::ErrorSummary& b) {
+    table.AddRow({name, std::to_string(a.count), metrics::FormatValue(a.mean),
+                  metrics::FormatValue(a.p50), metrics::FormatValue(a.p90),
+                  metrics::FormatValue(b.mean), metrics::FormatValue(b.p50),
+                  metrics::FormatValue(b.p90)});
+  };
+  add("Overall", stage_summary.overall, autowlm_summary.overall);
+  for (int b = 0; b < metrics::kNumExecTimeBuckets; ++b) {
+    add(metrics::BucketName(b), stage_summary.bucket[b],
+        autowlm_summary.bucket[b]);
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("global model: %s\n", use_global ? "loaded" : "not used");
+  return 0;
+}
+
+int RunWlm(const Flags& flags) {
+  global::GlobalModel global_model;
+  bool use_global = false;
+  if (!MaybeLoadGlobal(flags, &global_model, &use_global)) return 1;
+
+  fleet::FleetGenerator generator(FleetFromFlags(flags));
+  wlm::WlmConfig config;
+  config.short_slots = static_cast<int>(flags.GetInt("short_slots", 2));
+  config.long_slots = static_cast<int>(flags.GetInt("long_slots", 3));
+  const double utilization = flags.GetDouble("utilization", 0.75);
+  const int total_slots = config.short_slots + config.long_slots;
+
+  std::vector<double> autowlm_latency;
+  std::vector<double> stage_latency;
+  std::vector<double> optimal_latency;
+  for (int i = 0; i < generator.config().num_instances; ++i) {
+    const fleet::InstanceTrace instance = generator.MakeInstanceTrace(i);
+    core::StagePredictor stage(StageConfigFromFlags(flags),
+                               use_global ? &global_model : nullptr,
+                               &instance.config);
+    core::AutoWlmPredictor autowlm{core::AutoWlmConfig{}};
+    const auto stage_result = core::ReplayTrace(instance.trace, stage);
+    const auto autowlm_result = core::ReplayTrace(instance.trace, autowlm);
+    const auto trace =
+        wlm::CompressToUtilization(instance.trace, total_slots, utilization);
+    const auto append = [](std::vector<double>* out,
+                           const wlm::WlmResult& result) {
+      out->insert(out->end(), result.latency_seconds.begin(),
+                  result.latency_seconds.end());
+    };
+    append(&autowlm_latency,
+           wlm::SimulateWlm(trace, autowlm_result.Predictions(), config));
+    append(&stage_latency,
+           wlm::SimulateWlm(trace, stage_result.Predictions(), config));
+    append(&optimal_latency,
+           wlm::SimulateWlm(trace, stage_result.Actuals(), config));
+    std::fprintf(stderr, "[stage_sim] instance %d simulated\n", i);
+  }
+
+  metrics::TextTable table;
+  table.SetHeader({"Predictor", "avg (s)", "impr.", "median (s)", "p90 (s)"});
+  const double base = Mean(autowlm_latency);
+  const auto add = [&](const char* name, std::vector<double>& latency) {
+    table.AddRow({name, metrics::FormatValue(Mean(latency)),
+                  metrics::FormatPercent(1.0 - Mean(latency) / base),
+                  metrics::FormatValue(Quantile(latency, 0.5)),
+                  metrics::FormatValue(Quantile(latency, 0.9))});
+  };
+  add("AutoWLM", autowlm_latency);
+  add("Stage", stage_latency);
+  add("Optimal", optimal_latency);
+  std::printf("%s", table.Render().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  std::string error;
+  if (!Flags::Parse(argc, argv, kKnownFlags, &flags, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    PrintUsage();
+    return 1;
+  }
+  if (flags.positional().empty() || flags.GetBool("help", false)) {
+    PrintUsage();
+    return flags.positional().empty() ? 1 : 0;
+  }
+  const std::string& command = flags.positional().front();
+  if (command == "trace") return RunTrace(flags);
+  if (command == "train-global") return RunTrainGlobal(flags);
+  if (command == "replay") return RunReplay(flags);
+  if (command == "wlm") return RunWlm(flags);
+  std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
+  PrintUsage();
+  return 1;
+}
