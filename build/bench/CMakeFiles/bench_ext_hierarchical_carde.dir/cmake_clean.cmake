@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_hierarchical_carde.dir/bench_ext_hierarchical_carde.cc.o"
+  "CMakeFiles/bench_ext_hierarchical_carde.dir/bench_ext_hierarchical_carde.cc.o.d"
+  "bench_ext_hierarchical_carde"
+  "bench_ext_hierarchical_carde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_hierarchical_carde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

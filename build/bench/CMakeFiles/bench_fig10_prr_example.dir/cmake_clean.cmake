@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_prr_example.dir/bench_fig10_prr_example.cc.o"
+  "CMakeFiles/bench_fig10_prr_example.dir/bench_fig10_prr_example.cc.o.d"
+  "bench_fig10_prr_example"
+  "bench_fig10_prr_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_prr_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_fleet_stats.dir/bench_fig1_fleet_stats.cc.o"
+  "CMakeFiles/bench_fig1_fleet_stats.dir/bench_fig1_fleet_stats.cc.o.d"
+  "bench_fig1_fleet_stats"
+  "bench_fig1_fleet_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_fleet_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

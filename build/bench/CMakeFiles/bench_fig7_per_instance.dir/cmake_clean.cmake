@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_per_instance.dir/bench_fig7_per_instance.cc.o"
+  "CMakeFiles/bench_fig7_per_instance.dir/bench_fig7_per_instance.cc.o.d"
+  "bench_fig7_per_instance"
+  "bench_fig7_per_instance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_per_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

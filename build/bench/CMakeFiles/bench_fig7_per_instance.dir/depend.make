@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_per_instance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_accuracy.dir/bench_tab1_accuracy.cc.o"
+  "CMakeFiles/bench_tab1_accuracy.dir/bench_tab1_accuracy.cc.o.d"
+  "bench_tab1_accuracy"
+  "bench_tab1_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_qerror.dir/bench_tab2_qerror.cc.o"
+  "CMakeFiles/bench_tab2_qerror.dir/bench_tab2_qerror.cc.o.d"
+  "bench_tab2_qerror"
+  "bench_tab2_qerror.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_qerror.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

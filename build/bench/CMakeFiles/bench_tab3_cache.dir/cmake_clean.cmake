@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_cache.dir/bench_tab3_cache.cc.o"
+  "CMakeFiles/bench_tab3_cache.dir/bench_tab3_cache.cc.o.d"
+  "bench_tab3_cache"
+  "bench_tab3_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_local.dir/bench_tab4_local.cc.o"
+  "CMakeFiles/bench_tab4_local.dir/bench_tab4_local.cc.o.d"
+  "bench_tab4_local"
+  "bench_tab4_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_tab5_global_all.cc" "bench/CMakeFiles/bench_tab5_global_all.dir/bench_tab5_global_all.cc.o" "gcc" "bench/CMakeFiles/bench_tab5_global_all.dir/bench_tab5_global_all.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/carde/CMakeFiles/stage_carde.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/core/CMakeFiles/stage_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/cache/CMakeFiles/stage_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/local/CMakeFiles/stage_local.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/gbt/CMakeFiles/stage_gbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/wlm/CMakeFiles/stage_wlm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/metrics/CMakeFiles/stage_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/mview/CMakeFiles/stage_mview.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/global/CMakeFiles/stage_global.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/nn/CMakeFiles/stage_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/fleet/CMakeFiles/stage_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/plan/CMakeFiles/stage_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/common/CMakeFiles/stage_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

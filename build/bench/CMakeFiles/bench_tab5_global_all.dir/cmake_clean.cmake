@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab5_global_all.dir/bench_tab5_global_all.cc.o"
+  "CMakeFiles/bench_tab5_global_all.dir/bench_tab5_global_all.cc.o.d"
+  "bench_tab5_global_all"
+  "bench_tab5_global_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_global_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab6_global_uncertain.dir/bench_tab6_global_uncertain.cc.o"
+  "CMakeFiles/bench_tab6_global_uncertain.dir/bench_tab6_global_uncertain.cc.o.d"
+  "bench_tab6_global_uncertain"
+  "bench_tab6_global_uncertain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab6_global_uncertain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashboard_workload.dir/dashboard_workload.cpp.o"
+  "CMakeFiles/dashboard_workload.dir/dashboard_workload.cpp.o.d"
+  "dashboard_workload"
+  "dashboard_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashboard_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

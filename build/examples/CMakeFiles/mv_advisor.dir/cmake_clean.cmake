@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_advisor.dir/mv_advisor.cpp.o"
+  "CMakeFiles/mv_advisor.dir/mv_advisor.cpp.o.d"
+  "mv_advisor"
+  "mv_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

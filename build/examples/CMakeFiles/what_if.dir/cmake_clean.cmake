@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/what_if.dir/what_if.cpp.o"
+  "CMakeFiles/what_if.dir/what_if.cpp.o.d"
+  "what_if"
+  "what_if.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/what_if.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_scheduling.dir/wlm_scheduling.cpp.o"
+  "CMakeFiles/wlm_scheduling.dir/wlm_scheduling.cpp.o.d"
+  "wlm_scheduling"
+  "wlm_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("stage/common")
+subdirs("stage/plan")
+subdirs("stage/gbt")
+subdirs("stage/nn")
+subdirs("stage/cache")
+subdirs("stage/carde")
+subdirs("stage/local")
+subdirs("stage/global")
+subdirs("stage/core")
+subdirs("stage/fleet")
+subdirs("stage/wlm")
+subdirs("stage/metrics")
+subdirs("stage/mview")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_cache.dir/exec_time_cache.cc.o"
+  "CMakeFiles/stage_cache.dir/exec_time_cache.cc.o.d"
+  "libstage_cache.a"
+  "libstage_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stage/carde/estimator.cc" "src/stage/carde/CMakeFiles/stage_carde.dir/estimator.cc.o" "gcc" "src/stage/carde/CMakeFiles/stage_carde.dir/estimator.cc.o.d"
+  "/root/repo/src/stage/carde/learned.cc" "src/stage/carde/CMakeFiles/stage_carde.dir/learned.cc.o" "gcc" "src/stage/carde/CMakeFiles/stage_carde.dir/learned.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stage/common/CMakeFiles/stage_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/plan/CMakeFiles/stage_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/gbt/CMakeFiles/stage_gbt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_carde.dir/estimator.cc.o"
+  "CMakeFiles/stage_carde.dir/estimator.cc.o.d"
+  "CMakeFiles/stage_carde.dir/learned.cc.o"
+  "CMakeFiles/stage_carde.dir/learned.cc.o.d"
+  "libstage_carde.a"
+  "libstage_carde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_carde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

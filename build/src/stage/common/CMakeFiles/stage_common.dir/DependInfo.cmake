@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stage/common/flags.cc" "src/stage/common/CMakeFiles/stage_common.dir/flags.cc.o" "gcc" "src/stage/common/CMakeFiles/stage_common.dir/flags.cc.o.d"
+  "/root/repo/src/stage/common/p2_quantile.cc" "src/stage/common/CMakeFiles/stage_common.dir/p2_quantile.cc.o" "gcc" "src/stage/common/CMakeFiles/stage_common.dir/p2_quantile.cc.o.d"
+  "/root/repo/src/stage/common/rng.cc" "src/stage/common/CMakeFiles/stage_common.dir/rng.cc.o" "gcc" "src/stage/common/CMakeFiles/stage_common.dir/rng.cc.o.d"
+  "/root/repo/src/stage/common/serialize.cc" "src/stage/common/CMakeFiles/stage_common.dir/serialize.cc.o" "gcc" "src/stage/common/CMakeFiles/stage_common.dir/serialize.cc.o.d"
+  "/root/repo/src/stage/common/stats.cc" "src/stage/common/CMakeFiles/stage_common.dir/stats.cc.o" "gcc" "src/stage/common/CMakeFiles/stage_common.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_common.dir/flags.cc.o"
+  "CMakeFiles/stage_common.dir/flags.cc.o.d"
+  "CMakeFiles/stage_common.dir/p2_quantile.cc.o"
+  "CMakeFiles/stage_common.dir/p2_quantile.cc.o.d"
+  "CMakeFiles/stage_common.dir/rng.cc.o"
+  "CMakeFiles/stage_common.dir/rng.cc.o.d"
+  "CMakeFiles/stage_common.dir/serialize.cc.o"
+  "CMakeFiles/stage_common.dir/serialize.cc.o.d"
+  "CMakeFiles/stage_common.dir/stats.cc.o"
+  "CMakeFiles/stage_common.dir/stats.cc.o.d"
+  "libstage_common.a"
+  "libstage_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

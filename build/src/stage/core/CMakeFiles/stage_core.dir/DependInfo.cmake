@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stage/core/autowlm.cc" "src/stage/core/CMakeFiles/stage_core.dir/autowlm.cc.o" "gcc" "src/stage/core/CMakeFiles/stage_core.dir/autowlm.cc.o.d"
+  "/root/repo/src/stage/core/predictor.cc" "src/stage/core/CMakeFiles/stage_core.dir/predictor.cc.o" "gcc" "src/stage/core/CMakeFiles/stage_core.dir/predictor.cc.o.d"
+  "/root/repo/src/stage/core/replay.cc" "src/stage/core/CMakeFiles/stage_core.dir/replay.cc.o" "gcc" "src/stage/core/CMakeFiles/stage_core.dir/replay.cc.o.d"
+  "/root/repo/src/stage/core/stage_predictor.cc" "src/stage/core/CMakeFiles/stage_core.dir/stage_predictor.cc.o" "gcc" "src/stage/core/CMakeFiles/stage_core.dir/stage_predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stage/common/CMakeFiles/stage_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/plan/CMakeFiles/stage_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/gbt/CMakeFiles/stage_gbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/cache/CMakeFiles/stage_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/local/CMakeFiles/stage_local.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/global/CMakeFiles/stage_global.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/fleet/CMakeFiles/stage_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/nn/CMakeFiles/stage_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

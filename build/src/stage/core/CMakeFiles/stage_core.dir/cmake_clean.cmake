@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_core.dir/autowlm.cc.o"
+  "CMakeFiles/stage_core.dir/autowlm.cc.o.d"
+  "CMakeFiles/stage_core.dir/predictor.cc.o"
+  "CMakeFiles/stage_core.dir/predictor.cc.o.d"
+  "CMakeFiles/stage_core.dir/replay.cc.o"
+  "CMakeFiles/stage_core.dir/replay.cc.o.d"
+  "CMakeFiles/stage_core.dir/stage_predictor.cc.o"
+  "CMakeFiles/stage_core.dir/stage_predictor.cc.o.d"
+  "libstage_core.a"
+  "libstage_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stage/fleet/fleet.cc" "src/stage/fleet/CMakeFiles/stage_fleet.dir/fleet.cc.o" "gcc" "src/stage/fleet/CMakeFiles/stage_fleet.dir/fleet.cc.o.d"
+  "/root/repo/src/stage/fleet/ground_truth.cc" "src/stage/fleet/CMakeFiles/stage_fleet.dir/ground_truth.cc.o" "gcc" "src/stage/fleet/CMakeFiles/stage_fleet.dir/ground_truth.cc.o.d"
+  "/root/repo/src/stage/fleet/instance.cc" "src/stage/fleet/CMakeFiles/stage_fleet.dir/instance.cc.o" "gcc" "src/stage/fleet/CMakeFiles/stage_fleet.dir/instance.cc.o.d"
+  "/root/repo/src/stage/fleet/workload.cc" "src/stage/fleet/CMakeFiles/stage_fleet.dir/workload.cc.o" "gcc" "src/stage/fleet/CMakeFiles/stage_fleet.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stage/common/CMakeFiles/stage_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/plan/CMakeFiles/stage_plan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

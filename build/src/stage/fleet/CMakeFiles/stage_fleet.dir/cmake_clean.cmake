@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_fleet.dir/fleet.cc.o"
+  "CMakeFiles/stage_fleet.dir/fleet.cc.o.d"
+  "CMakeFiles/stage_fleet.dir/ground_truth.cc.o"
+  "CMakeFiles/stage_fleet.dir/ground_truth.cc.o.d"
+  "CMakeFiles/stage_fleet.dir/instance.cc.o"
+  "CMakeFiles/stage_fleet.dir/instance.cc.o.d"
+  "CMakeFiles/stage_fleet.dir/workload.cc.o"
+  "CMakeFiles/stage_fleet.dir/workload.cc.o.d"
+  "libstage_fleet.a"
+  "libstage_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stage/gbt/dataset.cc" "src/stage/gbt/CMakeFiles/stage_gbt.dir/dataset.cc.o" "gcc" "src/stage/gbt/CMakeFiles/stage_gbt.dir/dataset.cc.o.d"
+  "/root/repo/src/stage/gbt/ensemble.cc" "src/stage/gbt/CMakeFiles/stage_gbt.dir/ensemble.cc.o" "gcc" "src/stage/gbt/CMakeFiles/stage_gbt.dir/ensemble.cc.o.d"
+  "/root/repo/src/stage/gbt/gbdt.cc" "src/stage/gbt/CMakeFiles/stage_gbt.dir/gbdt.cc.o" "gcc" "src/stage/gbt/CMakeFiles/stage_gbt.dir/gbdt.cc.o.d"
+  "/root/repo/src/stage/gbt/loss.cc" "src/stage/gbt/CMakeFiles/stage_gbt.dir/loss.cc.o" "gcc" "src/stage/gbt/CMakeFiles/stage_gbt.dir/loss.cc.o.d"
+  "/root/repo/src/stage/gbt/quantizer.cc" "src/stage/gbt/CMakeFiles/stage_gbt.dir/quantizer.cc.o" "gcc" "src/stage/gbt/CMakeFiles/stage_gbt.dir/quantizer.cc.o.d"
+  "/root/repo/src/stage/gbt/tree.cc" "src/stage/gbt/CMakeFiles/stage_gbt.dir/tree.cc.o" "gcc" "src/stage/gbt/CMakeFiles/stage_gbt.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stage/common/CMakeFiles/stage_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

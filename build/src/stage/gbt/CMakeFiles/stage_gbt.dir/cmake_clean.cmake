@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_gbt.dir/dataset.cc.o"
+  "CMakeFiles/stage_gbt.dir/dataset.cc.o.d"
+  "CMakeFiles/stage_gbt.dir/ensemble.cc.o"
+  "CMakeFiles/stage_gbt.dir/ensemble.cc.o.d"
+  "CMakeFiles/stage_gbt.dir/gbdt.cc.o"
+  "CMakeFiles/stage_gbt.dir/gbdt.cc.o.d"
+  "CMakeFiles/stage_gbt.dir/loss.cc.o"
+  "CMakeFiles/stage_gbt.dir/loss.cc.o.d"
+  "CMakeFiles/stage_gbt.dir/quantizer.cc.o"
+  "CMakeFiles/stage_gbt.dir/quantizer.cc.o.d"
+  "CMakeFiles/stage_gbt.dir/tree.cc.o"
+  "CMakeFiles/stage_gbt.dir/tree.cc.o.d"
+  "libstage_gbt.a"
+  "libstage_gbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_gbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stage/global/global_model.cc" "src/stage/global/CMakeFiles/stage_global.dir/global_model.cc.o" "gcc" "src/stage/global/CMakeFiles/stage_global.dir/global_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stage/common/CMakeFiles/stage_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/plan/CMakeFiles/stage_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/nn/CMakeFiles/stage_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/fleet/CMakeFiles/stage_fleet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_global.dir/global_model.cc.o"
+  "CMakeFiles/stage_global.dir/global_model.cc.o.d"
+  "libstage_global.a"
+  "libstage_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_local.dir/local_model.cc.o"
+  "CMakeFiles/stage_local.dir/local_model.cc.o.d"
+  "CMakeFiles/stage_local.dir/training_pool.cc.o"
+  "CMakeFiles/stage_local.dir/training_pool.cc.o.d"
+  "libstage_local.a"
+  "libstage_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stage/metrics/error_metrics.cc" "src/stage/metrics/CMakeFiles/stage_metrics.dir/error_metrics.cc.o" "gcc" "src/stage/metrics/CMakeFiles/stage_metrics.dir/error_metrics.cc.o.d"
+  "/root/repo/src/stage/metrics/prr.cc" "src/stage/metrics/CMakeFiles/stage_metrics.dir/prr.cc.o" "gcc" "src/stage/metrics/CMakeFiles/stage_metrics.dir/prr.cc.o.d"
+  "/root/repo/src/stage/metrics/report.cc" "src/stage/metrics/CMakeFiles/stage_metrics.dir/report.cc.o" "gcc" "src/stage/metrics/CMakeFiles/stage_metrics.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stage/common/CMakeFiles/stage_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

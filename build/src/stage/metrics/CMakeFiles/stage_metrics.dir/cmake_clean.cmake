@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_metrics.dir/error_metrics.cc.o"
+  "CMakeFiles/stage_metrics.dir/error_metrics.cc.o.d"
+  "CMakeFiles/stage_metrics.dir/prr.cc.o"
+  "CMakeFiles/stage_metrics.dir/prr.cc.o.d"
+  "CMakeFiles/stage_metrics.dir/report.cc.o"
+  "CMakeFiles/stage_metrics.dir/report.cc.o.d"
+  "libstage_metrics.a"
+  "libstage_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

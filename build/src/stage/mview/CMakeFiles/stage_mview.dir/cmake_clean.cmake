@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_mview.dir/advisor.cc.o"
+  "CMakeFiles/stage_mview.dir/advisor.cc.o.d"
+  "libstage_mview.a"
+  "libstage_mview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_mview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

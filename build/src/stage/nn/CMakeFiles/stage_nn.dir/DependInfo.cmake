@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stage/nn/linear.cc" "src/stage/nn/CMakeFiles/stage_nn.dir/linear.cc.o" "gcc" "src/stage/nn/CMakeFiles/stage_nn.dir/linear.cc.o.d"
+  "/root/repo/src/stage/nn/mlp.cc" "src/stage/nn/CMakeFiles/stage_nn.dir/mlp.cc.o" "gcc" "src/stage/nn/CMakeFiles/stage_nn.dir/mlp.cc.o.d"
+  "/root/repo/src/stage/nn/param.cc" "src/stage/nn/CMakeFiles/stage_nn.dir/param.cc.o" "gcc" "src/stage/nn/CMakeFiles/stage_nn.dir/param.cc.o.d"
+  "/root/repo/src/stage/nn/tree_gcn.cc" "src/stage/nn/CMakeFiles/stage_nn.dir/tree_gcn.cc.o" "gcc" "src/stage/nn/CMakeFiles/stage_nn.dir/tree_gcn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stage/common/CMakeFiles/stage_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

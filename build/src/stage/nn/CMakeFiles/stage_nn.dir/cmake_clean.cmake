@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_nn.dir/linear.cc.o"
+  "CMakeFiles/stage_nn.dir/linear.cc.o.d"
+  "CMakeFiles/stage_nn.dir/mlp.cc.o"
+  "CMakeFiles/stage_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/stage_nn.dir/param.cc.o"
+  "CMakeFiles/stage_nn.dir/param.cc.o.d"
+  "CMakeFiles/stage_nn.dir/tree_gcn.cc.o"
+  "CMakeFiles/stage_nn.dir/tree_gcn.cc.o.d"
+  "libstage_nn.a"
+  "libstage_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stage/plan/featurizer.cc" "src/stage/plan/CMakeFiles/stage_plan.dir/featurizer.cc.o" "gcc" "src/stage/plan/CMakeFiles/stage_plan.dir/featurizer.cc.o.d"
+  "/root/repo/src/stage/plan/generator.cc" "src/stage/plan/CMakeFiles/stage_plan.dir/generator.cc.o" "gcc" "src/stage/plan/CMakeFiles/stage_plan.dir/generator.cc.o.d"
+  "/root/repo/src/stage/plan/operator_type.cc" "src/stage/plan/CMakeFiles/stage_plan.dir/operator_type.cc.o" "gcc" "src/stage/plan/CMakeFiles/stage_plan.dir/operator_type.cc.o.d"
+  "/root/repo/src/stage/plan/plan.cc" "src/stage/plan/CMakeFiles/stage_plan.dir/plan.cc.o" "gcc" "src/stage/plan/CMakeFiles/stage_plan.dir/plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stage/common/CMakeFiles/stage_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

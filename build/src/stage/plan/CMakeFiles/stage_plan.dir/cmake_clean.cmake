@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_plan.dir/featurizer.cc.o"
+  "CMakeFiles/stage_plan.dir/featurizer.cc.o.d"
+  "CMakeFiles/stage_plan.dir/generator.cc.o"
+  "CMakeFiles/stage_plan.dir/generator.cc.o.d"
+  "CMakeFiles/stage_plan.dir/operator_type.cc.o"
+  "CMakeFiles/stage_plan.dir/operator_type.cc.o.d"
+  "CMakeFiles/stage_plan.dir/plan.cc.o"
+  "CMakeFiles/stage_plan.dir/plan.cc.o.d"
+  "libstage_plan.a"
+  "libstage_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstage_plan.a"
+)

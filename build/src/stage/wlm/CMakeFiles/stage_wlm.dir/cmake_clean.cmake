@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_wlm.dir/trace_util.cc.o"
+  "CMakeFiles/stage_wlm.dir/trace_util.cc.o.d"
+  "CMakeFiles/stage_wlm.dir/workload_manager.cc.o"
+  "CMakeFiles/stage_wlm.dir/workload_manager.cc.o.d"
+  "libstage_wlm.a"
+  "libstage_wlm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_wlm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carde_test.dir/carde_test.cc.o"
+  "CMakeFiles/carde_test.dir/carde_test.cc.o.d"
+  "carde_test"
+  "carde_test.pdb"
+  "carde_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbt_test.dir/gbt_test.cc.o"
+  "CMakeFiles/gbt_test.dir/gbt_test.cc.o.d"
+  "gbt_test"
+  "gbt_test.pdb"
+  "gbt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

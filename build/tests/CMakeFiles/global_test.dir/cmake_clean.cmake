@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_test.dir/global_test.cc.o"
+  "CMakeFiles/global_test.dir/global_test.cc.o.d"
+  "global_test"
+  "global_test.pdb"
+  "global_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mview_test.dir/mview_test.cc.o"
+  "CMakeFiles/mview_test.dir/mview_test.cc.o.d"
+  "mview_test"
+  "mview_test.pdb"
+  "mview_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mview_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

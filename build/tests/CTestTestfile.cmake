@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_test[1]_include.cmake")
+include("/root/repo/build/tests/gbt_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/carde_test[1]_include.cmake")
+include("/root/repo/build/tests/local_test[1]_include.cmake")
+include("/root/repo/build/tests/global_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/fleet_test[1]_include.cmake")
+include("/root/repo/build/tests/wlm_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/mview_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+add_test(stage_sim_usage "/root/repo/build/tools/stage_sim")
+set_tests_properties(stage_sim_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;27;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(stage_sim_trace "/root/repo/build/tools/stage_sim" "trace" "--instances=1" "--queries=100")
+set_tests_properties(stage_sim_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;29;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(stage_sim_trace_csv "/root/repo/build/tools/stage_sim" "trace" "--instances=1" "--queries=50" "--csv")
+set_tests_properties(stage_sim_trace_csv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;31;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(stage_sim_unknown_flag "/root/repo/build/tools/stage_sim" "trace" "--no_such_flag=1")
+set_tests_properties(stage_sim_unknown_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;33;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(stage_sim_checkpoint_roundtrip "sh" "-c" "/root/repo/build/tools/stage_sim train-global --instances=2 --queries=150 --out=sim_smoke_global.bin && /root/repo/build/tools/stage_sim replay --instances=1 --queries=300 --rounds=40 --members=4 --global=sim_smoke_global.bin")
+set_tests_properties(stage_sim_checkpoint_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;36;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(stage_sim_wlm "/root/repo/build/tools/stage_sim" "wlm" "--instances=1" "--queries=400" "--rounds=40" "--members=4" "--utilization=0.6")
+set_tests_properties(stage_sim_wlm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;38;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_sim.dir/stage_sim.cc.o"
+  "CMakeFiles/stage_sim.dir/stage_sim.cc.o.d"
+  "stage_sim"
+  "stage_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
