@@ -34,7 +34,7 @@ int main() {
     for (const auto& instance : fleet) {
       core::StagePredictorConfig config = bench::PaperStageConfig();
       config.local.ensemble.num_members = k;
-      core::StagePredictor stage(config, nullptr, &instance.config);
+      core::StagePredictor stage(config, {.instance = &instance.config});
       const auto start = std::chrono::steady_clock::now();
       const auto result = core::ReplayTrace(instance.trace, stage);
       train_seconds += std::chrono::duration<double>(

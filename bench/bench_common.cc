@@ -99,8 +99,8 @@ std::vector<InstanceEval> RunSuite(const SuiteConfig& suite,
     InstanceEval eval;
     eval.instance = generator.MakeInstanceTrace(i);
 
-    core::StagePredictor stage(PaperStageConfig(), global_model,
-                               &eval.instance.config);
+    core::StagePredictor stage(PaperStageConfig(),
+                               {global_model, &eval.instance.config});
     core::AutoWlmPredictor autowlm(PaperAutoWlmConfig());
     eval.stage = core::ReplayTrace(eval.instance.trace, stage);
     eval.autowlm = core::ReplayTrace(eval.instance.trace, autowlm);
@@ -170,7 +170,7 @@ std::vector<DualRecord> ReplayDual(const fleet::InstanceTrace& instance,
                                    const core::StagePredictorConfig& config) {
   core::StagePredictorConfig local_only = config;
   local_only.use_global = false;
-  core::StagePredictor stage(local_only, nullptr, &instance.config);
+  core::StagePredictor stage(local_only, {.instance = &instance.config});
 
   std::vector<DualRecord> records;
   for (const fleet::QueryEvent& event : instance.trace) {

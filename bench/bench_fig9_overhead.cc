@@ -39,7 +39,8 @@ struct Harness {
     fleet::FleetGenerator generator(bench::EvalFleetConfig(suite));
     instance = generator.MakeInstanceTrace(0);
     stage = std::make_unique<core::StagePredictor>(
-        bench::PaperStageConfig(), global_model.get(), &instance.config);
+        bench::PaperStageConfig(),
+        core::StagePredictorOptions{global_model.get(), &instance.config});
     autowlm =
         std::make_unique<core::AutoWlmPredictor>(bench::PaperAutoWlmConfig());
     core::ReplayTrace(instance.trace, *stage);

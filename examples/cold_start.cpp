@@ -55,9 +55,10 @@ int main() {
 
   core::StagePredictorConfig stage_config;
   stage_config.min_train_size = 150;
-  core::StagePredictor with_global(stage_config, &global_model,
-                                   &fresh.config);
-  core::StagePredictor without_global(stage_config, nullptr, &fresh.config);
+  core::StagePredictor with_global(stage_config,
+                                   {&global_model, &fresh.config});
+  core::StagePredictor without_global(stage_config,
+                                      {.instance = &fresh.config});
   core::AutoWlmConfig autowlm_config;
   autowlm_config.min_train_size = 150;
   core::AutoWlmPredictor autowlm(autowlm_config);

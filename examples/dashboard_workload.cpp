@@ -41,7 +41,7 @@ int main() {
 
   core::StagePredictorConfig stage_config;
   stage_config.local.ensemble.member.num_rounds = 60;
-  core::StagePredictor stage(stage_config, nullptr, &instance.config);
+  core::StagePredictor stage(stage_config, {.instance = &instance.config});
   core::AutoWlmConfig autowlm_config;
   autowlm_config.gbdt.num_rounds = 100;
   core::AutoWlmPredictor autowlm(autowlm_config);

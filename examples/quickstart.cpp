@@ -30,7 +30,7 @@ int main() {
   core::StagePredictorConfig config;
   config.local.ensemble.num_members = 10;
   config.local.ensemble.member.num_rounds = 60;
-  core::StagePredictor predictor(config, nullptr, &instance.config);
+  core::StagePredictor predictor(config, {.instance = &instance.config});
 
   // 3. Drive it query by query: Predict before execution, Observe after.
   //    (core::ReplayTrace wraps exactly this loop.)
@@ -68,7 +68,7 @@ int main() {
                   predictor.exec_time_cache().evictions()));
 
   // A one-line accuracy summary via the replay helper on a fresh predictor.
-  core::StagePredictor fresh(config, nullptr, &instance.config);
+  core::StagePredictor fresh(config, {.instance = &instance.config});
   const core::ReplayResult result = core::ReplayTrace(instance.trace, fresh);
   const auto summary = metrics::Summarize(
       metrics::AbsoluteErrors(result.Actuals(), result.Predictions()));

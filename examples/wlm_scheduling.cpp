@@ -28,7 +28,7 @@ int main() {
   // Predict every query in arrival order.
   core::StagePredictorConfig stage_config;
   stage_config.local.ensemble.member.num_rounds = 60;
-  core::StagePredictor stage(stage_config, nullptr, &instance.config);
+  core::StagePredictor stage(stage_config, {.instance = &instance.config});
   core::AutoWlmPredictor autowlm{core::AutoWlmConfig{}};
   const auto stage_result = core::ReplayTrace(instance.trace, stage);
   const auto autowlm_result = core::ReplayTrace(instance.trace, autowlm);

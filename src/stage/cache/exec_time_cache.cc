@@ -10,13 +10,13 @@ ExecTimeCache::ExecTimeCache(const ExecTimeCacheConfig& config)
   STAGE_CHECK(config.alpha >= 0.0 && config.alpha <= 1.0);
 }
 
-std::optional<double> ExecTimeCache::Predict(uint64_t key) {
+std::optional<double> ExecTimeCache::Predict(uint64_t key) const {
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   const Entry& entry = it->second;
   switch (config_.prediction_mode) {
     case CachePredictionMode::kMean:

@@ -1,6 +1,7 @@
 #ifndef STAGE_CACHE_EXEC_TIME_CACHE_H_
 #define STAGE_CACHE_EXEC_TIME_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -47,9 +48,12 @@ class ExecTimeCache {
     uint64_t last_update_tick = 0;
   };
 
-  // Predicted exec-time for a key, or nullopt on a miss. Updates the
-  // hit/miss counters.
-  std::optional<double> Predict(uint64_t key);
+  // Predicted exec-time for a key, or nullopt on a miss. Logically const:
+  // the hit/miss counters it updates are atomics, so concurrent Predict
+  // calls are safe with each other. Predict racing Observe still needs
+  // external synchronization (the entry map is not lock-free); the sharded
+  // serving cache (stage::serve) provides that.
+  std::optional<double> Predict(uint64_t key) const;
 
   // True if the key is cached (no counter side effects); used by the local
   // model's training-pool deduplication (§4.3).
@@ -66,8 +70,8 @@ class ExecTimeCache {
 
   size_t size() const { return entries_.size(); }
   size_t capacity() const { return config_.capacity; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   uint64_t evictions() const { return evictions_; }
 
   // Approximate resident size (Fig. 9 accounting).
@@ -79,8 +83,10 @@ class ExecTimeCache {
   // Eviction index ordered by (last_update_tick, key); the begin() element
   // is the least-recently-updated query.
   std::map<std::pair<uint64_t, uint64_t>, uint64_t> by_update_time_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  // Mutable + atomic so the const read path can count without a writer
+  // lock; evictions_ is only touched by Observe and stays plain.
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
   uint64_t evictions_ = 0;
 };
 

@@ -14,7 +14,7 @@ AutoWlmPredictor::AutoWlmPredictor(const AutoWlmConfig& config)
   STAGE_CHECK(config.retrain_interval > 0);
 }
 
-Prediction AutoWlmPredictor::Predict(const QueryContext& query) {
+Prediction AutoWlmPredictor::Predict(const QueryContext& query) const {
   Prediction out;
   if (!trained_) {
     out.seconds = kColdStartDefaultSeconds;

@@ -30,7 +30,7 @@ class AutoWlmPredictor final : public ExecTimePredictor {
  public:
   explicit AutoWlmPredictor(const AutoWlmConfig& config);
 
-  Prediction Predict(const QueryContext& query) override;
+  Prediction Predict(const QueryContext& query) const override;
   void Observe(const QueryContext& query, double exec_seconds) override;
   std::string_view name() const override { return "AutoWLM"; }
 

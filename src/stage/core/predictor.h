@@ -2,7 +2,9 @@
 #define STAGE_CORE_PREDICTOR_H_
 
 #include <cstdint>
+#include <span>
 #include <string_view>
+#include <vector>
 
 #include "stage/plan/featurizer.h"
 #include "stage/plan/plan.h"
@@ -34,6 +36,9 @@ enum class PredictionSource : uint8_t {
   kDefault,    // Cold start, nothing trained yet.
 };
 
+// Number of PredictionSource values; sizes attribution-counter arrays.
+inline constexpr int kNumPredictionSources = 5;
+
 std::string_view PredictionSourceName(PredictionSource source);
 
 struct Prediction {
@@ -47,11 +52,39 @@ struct Prediction {
 // The interface of every exec-time predictor in this library. The contract
 // mirrors deployment: Predict is called before execution, Observe after it
 // with the measured exec-time (which feeds caches/training pools).
+//
+// Thread-safety contract. The interface is split into a const read path
+// (Predict / PredictBatch) and a mutating write path (Observe):
+//
+//  * Predict / PredictBatch are `const` and must not mutate any state that
+//    affects future predictions. Implementations may update bookkeeping
+//    counters (hit/miss, attribution) from the read path, but only through
+//    atomics, so concurrent Predict calls never race with *each other*.
+//  * Observe mutates model state (caches, training pools, retraining) and
+//    is NOT safe to run concurrently with Predict or another Observe on the
+//    bare implementations in this library (StagePredictor, AutoWlm). A
+//    caller that needs reads racing writes must either serialize externally
+//    or use stage::serve::PredictionService, which layers per-shard cache
+//    locks and an atomically swapped model snapshot on top of this
+//    interface to make Predict wait-free with respect to Observe/retrain.
 class ExecTimePredictor {
  public:
   virtual ~ExecTimePredictor() = default;
 
-  virtual Prediction Predict(const QueryContext& query) = 0;
+  virtual Prediction Predict(const QueryContext& query) const = 0;
+
+  // Batched read path. The default override is a plain loop over Predict;
+  // implementations with cheaper amortized lookups (shard-lock batching,
+  // vectorized ensembles) may specialize it. Must be semantically
+  // equivalent to calling Predict once per query, in order.
+  virtual std::vector<Prediction> PredictBatch(
+      std::span<const QueryContext> queries) const {
+    std::vector<Prediction> out;
+    out.reserve(queries.size());
+    for (const QueryContext& query : queries) out.push_back(Predict(query));
+    return out;
+  }
+
   virtual void Observe(const QueryContext& query, double exec_seconds) = 0;
   virtual std::string_view name() const = 0;
 };

@@ -4,69 +4,105 @@
 
 namespace stage::core {
 
-StagePredictor::StagePredictor(const StagePredictorConfig& config,
-                               const global::GlobalModel* global_model,
-                               const fleet::InstanceConfig* instance)
-    : config_(config),
-      cache_(config.cache),
-      pool_(config.pool),
-      local_(config.local),
-      global_model_(global_model),
-      instance_(instance) {
-  STAGE_CHECK(config.retrain_interval > 0);
+std::string StagePredictorConfig::Validate() const {
+  if (cache.capacity == 0) return "cache.capacity must be positive";
+  if (cache.alpha < 0.0 || cache.alpha > 1.0) {
+    return "cache.alpha must be in [0, 1]";
+  }
+  if (pool.capacity == 0 && !pool.unbounded) {
+    return "pool.capacity must be positive (or pool.unbounded set)";
+  }
+  if (pool.bucket_bounds_seconds[0] > pool.bucket_bounds_seconds[1]) {
+    return "pool.bucket_bounds_seconds must be non-decreasing";
+  }
+  for (double fraction : pool.bucket_fractions) {
+    if (fraction < 0.0) return "pool.bucket_fractions must be non-negative";
+  }
+  if (local.ensemble.num_members <= 0) {
+    return "local.ensemble.num_members must be positive";
+  }
+  if (retrain_interval == 0) return "retrain_interval must be positive";
+  if (min_train_size == 0) return "min_train_size must be positive";
+  if (short_running_seconds < 0.0) {
+    return "short_running_seconds must be non-negative";
+  }
+  if (uncertainty_log_std_threshold < 0.0) {
+    return "uncertainty_log_std_threshold must be non-negative";
+  }
+  return "";
 }
 
-Prediction StagePredictor::Predict(const QueryContext& query) {
+Prediction RouteHierarchical(const StagePredictorConfig& config,
+                             const QueryContext& query,
+                             std::optional<double> cached_seconds,
+                             const local::LocalModel* local,
+                             const global::GlobalModel* global_model,
+                             const fleet::InstanceConfig* instance) {
   Prediction out;
-  const auto finish = [&](Prediction prediction) {
-    ++source_counts_[static_cast<int>(prediction.source)];
-    return prediction;
-  };
 
   // Stage 1: exec-time cache.
-  if (const auto cached = cache_.Predict(query.feature_hash)) {
-    out.seconds = *cached;
+  if (cached_seconds) {
+    out.seconds = *cached_seconds;
     out.source = PredictionSource::kCache;
-    return finish(out);
+    return out;
   }
 
-  const bool global_available = config_.use_global &&
-                                global_model_ != nullptr &&
-                                global_model_->trained() &&
-                                instance_ != nullptr && query.plan != nullptr;
+  const bool global_available = config.use_global && global_model != nullptr &&
+                                global_model->trained() &&
+                                instance != nullptr && query.plan != nullptr;
 
   // Stage 2: instance-optimized local model.
-  if (local_.trained()) {
-    const local::LocalModel::Output local_out = local_.Predict(query.features);
+  if (local != nullptr && local->trained()) {
+    const local::LocalModel::Output local_out = local->Predict(query.features);
     out.seconds = local_out.exec_seconds;
     out.uncertainty_log_std = local_out.log_std();
     out.source = PredictionSource::kLocal;
 
     const bool short_running =
-        local_out.exec_seconds < config_.short_running_seconds;
+        local_out.exec_seconds < config.short_running_seconds;
     const bool confident =
-        local_out.log_std() < config_.uncertainty_log_std_threshold;
+        local_out.log_std() < config.uncertainty_log_std_threshold;
     if (short_running || confident || !global_available) {
-      return finish(out);
+      return out;
     }
     // Stage 3: the local model is uncertain about a long-running query.
-    out.seconds = global_model_->PredictSeconds(*query.plan, *instance_,
-                                                query.concurrent_queries);
+    out.seconds = global_model->PredictSeconds(*query.plan, *instance,
+                                               query.concurrent_queries);
     out.source = PredictionSource::kGlobal;
-    return finish(out);
+    return out;
   }
 
   // Cold start: no local model yet. The transferable global model covers
   // new instances until enough local training data accumulates.
   if (global_available) {
-    out.seconds = global_model_->PredictSeconds(*query.plan, *instance_,
-                                                query.concurrent_queries);
+    out.seconds = global_model->PredictSeconds(*query.plan, *instance,
+                                               query.concurrent_queries);
     out.source = PredictionSource::kGlobal;
-    return finish(out);
+    return out;
   }
   out.seconds = kColdStartDefaultSeconds;
   out.source = PredictionSource::kDefault;
-  return finish(out);
+  return out;
+}
+
+StagePredictor::StagePredictor(const StagePredictorConfig& config,
+                               const StagePredictorOptions& options)
+    : config_(config),
+      cache_(config.cache),
+      pool_(config.pool),
+      local_(config.local),
+      options_(options) {
+  const std::string error = config.Validate();
+  STAGE_CHECK_MSG(error.empty(), error.c_str());
+}
+
+Prediction StagePredictor::Predict(const QueryContext& query) const {
+  const Prediction out =
+      RouteHierarchical(config_, query, cache_.Predict(query.feature_hash),
+                        &local_, options_.global_model, options_.instance);
+  source_counts_[static_cast<int>(out.source)].fetch_add(
+      1, std::memory_order_relaxed);
+  return out;
 }
 
 void StagePredictor::Observe(const QueryContext& query, double exec_seconds) {
@@ -93,7 +129,9 @@ void StagePredictor::Observe(const QueryContext& query, double exec_seconds) {
 
 uint64_t StagePredictor::total_predictions() const {
   uint64_t total = 0;
-  for (uint64_t count : source_counts_) total += count;
+  for (const auto& count : source_counts_) {
+    total += count.load(std::memory_order_relaxed);
+  }
   return total;
 }
 

@@ -2,7 +2,10 @@
 #define STAGE_CORE_STAGE_PREDICTOR_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <optional>
+#include <string>
 
 #include "stage/cache/exec_time_cache.h"
 #include "stage/core/predictor.h"
@@ -32,28 +35,57 @@ struct StagePredictorConfig {
 
   // Ablation switch: never consult the global model even if provided.
   bool use_global = true;
+
+  // Returns an empty string when the config is usable; otherwise a
+  // description of the first problem found. StagePredictor (and the serving
+  // layer on top of it) refuse to construct from an invalid config.
+  std::string Validate() const;
 };
 
+// Non-owning collaborators of a StagePredictor. Both pointers may be null
+// (the predictor degrades to cache + local, which is the configuration
+// Redshift actually deployed, §5.2); when set they are borrowed and must
+// outlive the predictor.
+struct StagePredictorOptions {
+  const global::GlobalModel* global_model = nullptr;
+  const fleet::InstanceConfig* instance = nullptr;
+};
+
+// The §4.1 routing policy as a pure function, shared by StagePredictor and
+// stage::serve::PredictionService so the two cannot drift: cache hit ->
+// cached value; trained local model -> local unless it is uncertain about a
+// long-running query and a global model is usable; otherwise global (cold
+// start) or the cold-start default. `cached_seconds` is the already-made
+// cache lookup; `local` may be null or untrained.
+Prediction RouteHierarchical(const StagePredictorConfig& config,
+                             const QueryContext& query,
+                             std::optional<double> cached_seconds,
+                             const local::LocalModel* local,
+                             const global::GlobalModel* global_model,
+                             const fleet::InstanceConfig* instance);
+
 // The Stage predictor (§4): exec-time cache -> local Bayesian-ensemble
-// model -> fleet-trained global GCN. The global model and the instance
-// description (needed for its system features) are optional: with either
-// absent the predictor degrades to cache + local, which is the
-// configuration Redshift actually deployed (§5.2).
+// model -> fleet-trained global GCN.
+//
+// Thread-safety: Predict is const and only touches mutable state through
+// atomics (see ExecTimePredictor's contract), so concurrent Predict calls
+// are safe. Observe mutates the cache, pool, and (inline, every
+// retrain_interval misses) retrains the local model; it must not run
+// concurrently with anything. stage::serve::PredictionService provides the
+// concurrent, non-blocking-retrain variant.
 class StagePredictor final : public ExecTimePredictor {
  public:
-  // `global_model` and `instance` may be null; both are borrowed and must
-  // outlive the predictor.
-  StagePredictor(const StagePredictorConfig& config,
-                 const global::GlobalModel* global_model,
-                 const fleet::InstanceConfig* instance);
+  explicit StagePredictor(const StagePredictorConfig& config,
+                          const StagePredictorOptions& options = {});
 
-  Prediction Predict(const QueryContext& query) override;
+  Prediction Predict(const QueryContext& query) const override;
   void Observe(const QueryContext& query, double exec_seconds) override;
   std::string_view name() const override { return "Stage"; }
 
   // Attribution counters: how many predictions each stage served.
   uint64_t predictions_from(PredictionSource source) const {
-    return source_counts_[static_cast<int>(source)];
+    return source_counts_[static_cast<int>(source)].load(
+        std::memory_order_relaxed);
   }
   uint64_t total_predictions() const;
 
@@ -70,10 +102,11 @@ class StagePredictor final : public ExecTimePredictor {
   cache::ExecTimeCache cache_;
   local::TrainingPool pool_;
   local::LocalModel local_;
-  const global::GlobalModel* global_model_;  // Borrowed, nullable.
-  const fleet::InstanceConfig* instance_;    // Borrowed, nullable.
+  StagePredictorOptions options_;  // Borrowed pointers, nullable.
   size_t observed_since_train_ = 0;
-  std::array<uint64_t, 5> source_counts_{};
+  // Mutable + atomic: the const read path attributes each prediction.
+  mutable std::array<std::atomic<uint64_t>, kNumPredictionSources>
+      source_counts_{};
 };
 
 }  // namespace stage::core

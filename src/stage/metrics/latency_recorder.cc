@@ -1,0 +1,58 @@
+#include "stage/metrics/latency_recorder.h"
+
+#include "stage/common/macros.h"
+#include "stage/metrics/report.h"
+
+namespace stage::metrics {
+
+LatencyRecorder::LatencyRecorder(size_t num_slots)
+    : num_slots_(num_slots), slots_(new Slot[num_slots]) {
+  STAGE_CHECK(num_slots > 0);
+}
+
+void LatencyRecorder::Record(size_t slot, uint64_t nanos) {
+  STAGE_DCHECK(slot < num_slots_);
+  Slot& s = slots_[slot];
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.total_nanos.fetch_add(nanos, std::memory_order_relaxed);
+  uint64_t seen = s.max_nanos.load(std::memory_order_relaxed);
+  while (nanos > seen && !s.max_nanos.compare_exchange_weak(
+                             seen, nanos, std::memory_order_relaxed)) {
+  }
+}
+
+LatencyRecorder::SlotSnapshot LatencyRecorder::slot(size_t slot_index) const {
+  STAGE_DCHECK(slot_index < num_slots_);
+  const Slot& s = slots_[slot_index];
+  SlotSnapshot out;
+  out.count = s.count.load(std::memory_order_relaxed);
+  out.total_nanos = s.total_nanos.load(std::memory_order_relaxed);
+  out.max_nanos = s.max_nanos.load(std::memory_order_relaxed);
+  return out;
+}
+
+uint64_t LatencyRecorder::total_count() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < num_slots_; ++i) {
+    total += slots_[i].count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::string LatencyRecorder::RenderTable(
+    const std::vector<std::string>& slot_names, double elapsed_seconds) const {
+  TextTable table;
+  table.SetHeader({"Slot", "Count", "QPS", "Mean (us)", "Max (us)"});
+  for (size_t i = 0; i < num_slots_; ++i) {
+    const SlotSnapshot snapshot = slot(i);
+    const std::string name =
+        i < slot_names.size() ? slot_names[i] : std::to_string(i);
+    table.AddRow({name, std::to_string(snapshot.count),
+                  FormatValue(Qps(snapshot.count, elapsed_seconds)),
+                  FormatValue(snapshot.mean_micros()),
+                  FormatValue(snapshot.max_micros())});
+  }
+  return table.Render();
+}
+
+}  // namespace stage::metrics

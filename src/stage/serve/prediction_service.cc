@@ -1,0 +1,227 @@
+#include "stage/serve/prediction_service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "stage/common/macros.h"
+
+namespace stage::serve {
+
+namespace {
+
+uint64_t ElapsedNanos(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+std::string PredictionServiceConfig::Validate() const {
+  if (cache_shards == 0) return "cache_shards must be positive";
+  return predictor.Validate();
+}
+
+namespace {
+
+// Validates before any member construction (config_ initializes first), so
+// a bad config reports Validate()'s message instead of tripping an internal
+// check deep inside a member constructor.
+const PredictionServiceConfig& Validated(const PredictionServiceConfig& config) {
+  const std::string error = config.Validate();
+  STAGE_CHECK_MSG(error.empty(), error.c_str());
+  return config;
+}
+
+}  // namespace
+
+PredictionService::PredictionService(const PredictionServiceConfig& config,
+                                     const core::StagePredictorOptions& options)
+    : config_(Validated(config)),
+      options_(options),
+      cache_(ShardedExecTimeCacheConfig{config.predictor.cache,
+                                        config.cache_shards}),
+      pool_(config.predictor.pool) {
+  if (config_.async_retrain) {
+    worker_ = std::thread([this] { RetrainLoop(); });
+  }
+}
+
+PredictionService::~PredictionService() {
+  if (worker_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(work_mutex_);
+      stopping_ = true;
+    }
+    work_cv_.notify_all();
+    worker_.join();
+  }
+}
+
+core::Prediction PredictionService::Predict(
+    const core::QueryContext& query) const {
+  const auto start = std::chrono::steady_clock::now();
+  // Take the model snapshot before the cache lookup: a snapshot held for
+  // the whole routing decision can never be freed mid-predict, and the
+  // routing function sees one consistent model.
+  const std::shared_ptr<const local::LocalModel> local =
+      local_model_snapshot();
+  const core::Prediction out = core::RouteHierarchical(
+      config_.predictor, query, cache_.Predict(query.feature_hash),
+      local.get(), options_.global_model, options_.instance);
+  source_counts_[static_cast<int>(out.source)].fetch_add(
+      1, std::memory_order_relaxed);
+  predict_latency_.Record(static_cast<size_t>(out.source),
+                          ElapsedNanos(start));
+  return out;
+}
+
+std::vector<core::Prediction> PredictionService::PredictBatch(
+    std::span<const core::QueryContext> queries) const {
+  // One model snapshot amortized across the batch; cache lookups still go
+  // through the shard locks individually so a batch never starves writers.
+  const std::shared_ptr<const local::LocalModel> local =
+      local_model_snapshot();
+  std::vector<core::Prediction> out;
+  out.reserve(queries.size());
+  for (const core::QueryContext& query : queries) {
+    const auto query_start = std::chrono::steady_clock::now();
+    core::Prediction prediction = core::RouteHierarchical(
+        config_.predictor, query, cache_.Predict(query.feature_hash),
+        local.get(), options_.global_model, options_.instance);
+    source_counts_[static_cast<int>(prediction.source)].fetch_add(
+        1, std::memory_order_relaxed);
+    predict_latency_.Record(static_cast<size_t>(prediction.source),
+                            ElapsedNanos(query_start));
+    out.push_back(prediction);
+  }
+  return out;
+}
+
+void PredictionService::Observe(const core::QueryContext& query,
+                                double exec_seconds) {
+  STAGE_CHECK(exec_seconds >= 0.0);
+  std::lock_guard<std::mutex> observe_lock(observe_mutex_);
+
+  // §4.3 pool deduplication: only cache misses diversify the pool. The
+  // was-cached check and the observation happen under one shard lock.
+  const bool was_cached =
+      cache_.Observe(query.feature_hash, exec_seconds, query.tick);
+
+  bool request_retrain = false;
+  {
+    std::lock_guard<std::mutex> pool_lock(pool_mutex_);
+    if (!was_cached) {
+      pool_.Add(query.features, exec_seconds);
+      ++observed_since_train_;
+    }
+    // Mirrors StagePredictor::Observe's cadence, with "a training has been
+    // kicked off" standing in for "the local model is trained" so the async
+    // first training is requested exactly once.
+    const bool first_training =
+        !first_train_requested_ &&
+        pool_.size() >= config_.predictor.min_train_size;
+    const bool scheduled_training =
+        first_train_requested_ &&
+        observed_since_train_ >= config_.predictor.retrain_interval &&
+        pool_.size() >= config_.predictor.min_train_size;
+    if (first_training || scheduled_training) {
+      request_retrain = true;
+      first_train_requested_ = true;
+      observed_since_train_ = 0;
+    }
+  }
+  if (!request_retrain) return;
+
+  if (!config_.async_retrain) {
+    TrainOnce();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(work_mutex_);
+    retrain_requested_ = true;
+  }
+  work_cv_.notify_one();
+}
+
+void PredictionService::RetrainLoop() {
+  std::unique_lock<std::mutex> lock(work_mutex_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stopping_ || retrain_requested_; });
+    if (stopping_) return;
+    retrain_requested_ = false;
+    training_in_flight_ = true;
+    lock.unlock();
+    TrainOnce();
+    lock.lock();
+    training_in_flight_ = false;
+    idle_cv_.notify_all();
+  }
+}
+
+void PredictionService::TrainOnce() {
+  // Snapshot the pool so training never holds the write-path lock.
+  local::TrainingPool snapshot = [this] {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    return pool_;
+  }();
+  auto fresh = std::make_shared<local::LocalModel>(config_.predictor.local);
+  fresh->Train(snapshot);
+  if (!fresh->trained()) return;  // Empty snapshot: nothing to publish.
+  PublishModel(std::move(fresh));
+  trainings_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PredictionService::PublishModel(
+    std::shared_ptr<const local::LocalModel> fresh) {
+  // Double-buffer swap: readers holding the old snapshot finish on it (and
+  // free it with the last reference); new Predicts see the fresh model.
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  model_ = std::move(fresh);
+}
+
+std::shared_ptr<const local::LocalModel>
+PredictionService::local_model_snapshot() const {
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  return model_;
+}
+
+void PredictionService::WaitForRetrain() {
+  if (!config_.async_retrain) return;
+  std::unique_lock<std::mutex> lock(work_mutex_);
+  idle_cv_.wait(lock, [this] {
+    return !retrain_requested_ && !training_in_flight_;
+  });
+}
+
+uint64_t PredictionService::total_predictions() const {
+  uint64_t total = 0;
+  for (const auto& count : source_counts_) {
+    total += count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+size_t PredictionService::pool_size() const {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  return pool_.size();
+}
+
+std::vector<std::string> PredictionService::PredictLatencySlotNames() {
+  std::vector<std::string> names;
+  names.reserve(core::kNumPredictionSources);
+  for (int i = 0; i < core::kNumPredictionSources; ++i) {
+    names.emplace_back(core::PredictionSourceName(
+        static_cast<core::PredictionSource>(i)));
+  }
+  return names;
+}
+
+size_t PredictionService::LocalMemoryBytes() const {
+  const std::shared_ptr<const local::LocalModel> local =
+      local_model_snapshot();
+  return cache_.MemoryBytes() + (local ? local->MemoryBytes() : 0);
+}
+
+}  // namespace stage::serve

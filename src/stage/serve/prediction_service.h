@@ -1,0 +1,158 @@
+#ifndef STAGE_SERVE_PREDICTION_SERVICE_H_
+#define STAGE_SERVE_PREDICTION_SERVICE_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stage/core/predictor.h"
+#include "stage/core/stage_predictor.h"
+#include "stage/local/local_model.h"
+#include "stage/local/training_pool.h"
+#include "stage/metrics/latency_recorder.h"
+#include "stage/serve/sharded_cache.h"
+
+namespace stage::serve {
+
+struct PredictionServiceConfig {
+  core::StagePredictorConfig predictor;
+
+  // Shards of the exec-time cache front. 1 shard reproduces the
+  // single-threaded predictor bit-for-bit (same eviction order); more
+  // shards let concurrent lookups proceed without serializing.
+  size_t cache_shards = 8;
+
+  // When true (production), retraining runs on a dedicated worker thread
+  // from a snapshot of the training pool and the fresh model is swapped in
+  // atomically — Predict and Observe never block on Train. When false
+  // (deterministic replay / tests), Observe trains inline exactly like
+  // StagePredictor::Observe.
+  bool async_retrain = true;
+
+  // Empty when usable, else a description of the first problem.
+  std::string Validate() const;
+};
+
+// Thread-safe serving layer over the Stage predictor (the paper's AutoWLM
+// integration path, §4.5): many sessions predict concurrently while the
+// local model refreshes in the background.
+//
+// Concurrency design:
+//  * Read path (Predict / PredictBatch, const): one sharded-cache lookup
+//    (per-shard mutex, sub-microsecond critical section), an atomic
+//    shared_ptr load of the current local-model snapshot, then the shared
+//    §4.1 routing function. Never blocks on training.
+//  * Write path (Observe): serialized by an internal mutex (multiple
+//    writer sessions are safe), updates the cache shard and training pool,
+//    and — at the §4.3 cadence — either signals the retrain worker (async)
+//    or trains inline (deterministic mode).
+//  * Retrain worker: copies the pool under its lock, trains a fresh
+//    LocalModel off-thread, then publishes it with a double-buffered
+//    std::shared_ptr swap; in-flight Predicts finish on the old snapshot,
+//    which is freed when the last reader drops it. Requests arriving while
+//    a training runs coalesce into one follow-up run.
+//
+// With cache_shards == 1 and async_retrain == false, a single-threaded
+// replay through this service is bit-for-bit identical (predictions and
+// attribution counters) to the same replay through StagePredictor.
+class PredictionService final : public core::ExecTimePredictor {
+ public:
+  explicit PredictionService(const PredictionServiceConfig& config,
+                             const core::StagePredictorOptions& options = {});
+  ~PredictionService() override;
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  core::Prediction Predict(const core::QueryContext& query) const override;
+  std::vector<core::Prediction> PredictBatch(
+      std::span<const core::QueryContext> queries) const override;
+  void Observe(const core::QueryContext& query, double exec_seconds) override;
+  std::string_view name() const override { return "StageServe"; }
+
+  // Blocks until no retraining is pending or in flight. Test/shutdown sync
+  // point; never needed on the serving path.
+  void WaitForRetrain();
+
+  // Attribution counters (same semantics as StagePredictor's).
+  uint64_t predictions_from(core::PredictionSource source) const {
+    return source_counts_[static_cast<int>(source)].load(
+        std::memory_order_relaxed);
+  }
+  uint64_t total_predictions() const;
+
+  // Completed local-model trainings.
+  int trainings() const { return trainings_.load(std::memory_order_relaxed); }
+
+  // Current local-model snapshot (nullptr before the first training). The
+  // returned pointer stays valid across later swaps.
+  std::shared_ptr<const local::LocalModel> local_model_snapshot() const;
+
+  const ShardedExecTimeCache& exec_time_cache() const { return cache_; }
+  size_t pool_size() const;
+
+  // Per-source read-path latency/QPS, one slot per PredictionSource.
+  const metrics::LatencyRecorder& predict_latency() const {
+    return predict_latency_;
+  }
+  // Slot kNumPredictionSources-aligned names for RenderTable.
+  static std::vector<std::string> PredictLatencySlotNames();
+
+  size_t LocalMemoryBytes() const;
+
+ private:
+  void RetrainLoop();
+  void TrainOnce();
+  void PublishModel(std::shared_ptr<const local::LocalModel> fresh);
+
+  PredictionServiceConfig config_;
+  core::StagePredictorOptions options_;  // Borrowed pointers, nullable.
+
+  ShardedExecTimeCache cache_;
+
+  // Write-path state: the pool and retrain bookkeeping, guarded by
+  // pool_mutex_ (observe_mutex_ additionally serializes whole Observes so
+  // multiple writer sessions keep StagePredictor's sequential semantics).
+  std::mutex observe_mutex_;
+  mutable std::mutex pool_mutex_;
+  local::TrainingPool pool_;
+  size_t observed_since_train_ = 0;
+  bool first_train_requested_ = false;
+
+  // Double-buffered model snapshot: the trainer publishes a fresh model by
+  // swapping this pointer; in-flight readers keep the previous buffer alive
+  // through their own shared_ptr until they finish with it. model_mutex_
+  // guards only the O(1) copy/swap — it is never held while training — so
+  // Predict can stall behind a pointer copy at worst, never behind Train.
+  // (Deliberately not std::atomic<std::shared_ptr>: libstdc++ implements
+  // that with a lock bit ThreadSanitizer cannot see, and the stress test
+  // must run TSan-clean.)
+  mutable std::mutex model_mutex_;
+  std::shared_ptr<const local::LocalModel> model_;
+  std::atomic<int> trainings_{0};
+
+  // Retrain worker plumbing.
+  std::thread worker_;
+  std::mutex work_mutex_;
+  std::condition_variable work_cv_;   // Wakes the worker.
+  std::condition_variable idle_cv_;   // Wakes WaitForRetrain.
+  bool retrain_requested_ = false;
+  bool training_in_flight_ = false;
+  bool stopping_ = false;
+
+  mutable std::array<std::atomic<uint64_t>, core::kNumPredictionSources>
+      source_counts_{};
+  mutable metrics::LatencyRecorder predict_latency_{
+      core::kNumPredictionSources};
+};
+
+}  // namespace stage::serve
+
+#endif  // STAGE_SERVE_PREDICTION_SERVICE_H_

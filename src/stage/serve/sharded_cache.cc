@@ -1,0 +1,84 @@
+#include "stage/serve/sharded_cache.h"
+
+#include "stage/common/macros.h"
+
+namespace stage::serve {
+
+ShardedExecTimeCache::ShardedExecTimeCache(
+    const ShardedExecTimeCacheConfig& config) {
+  STAGE_CHECK(config.num_shards > 0);
+  STAGE_CHECK(config.cache.capacity > 0);
+  cache::ExecTimeCacheConfig shard_config = config.cache;
+  shard_config.capacity = (config.cache.capacity + config.num_shards - 1) /
+                          config.num_shards;
+  shards_.reserve(config.num_shards);
+  for (size_t i = 0; i < config.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(shard_config));
+  }
+}
+
+std::optional<double> ShardedExecTimeCache::Predict(uint64_t key) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.cache.Predict(key);
+}
+
+bool ShardedExecTimeCache::Contains(uint64_t key) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.cache.Contains(key);
+}
+
+bool ShardedExecTimeCache::Observe(uint64_t key, double exec_time,
+                                   uint64_t tick) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const bool was_cached = shard.cache.Contains(key);
+  shard.cache.Observe(key, exec_time, tick);
+  return was_cached;
+}
+
+size_t ShardedExecTimeCache::shard_capacity() const {
+  return shards_.front()->cache.capacity();
+}
+
+uint64_t ShardedExecTimeCache::hits() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->cache.hits();
+  return total;
+}
+
+uint64_t ShardedExecTimeCache::misses() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->cache.misses();
+  return total;
+}
+
+uint64_t ShardedExecTimeCache::evictions() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->cache.evictions();
+  }
+  return total;
+}
+
+size_t ShardedExecTimeCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->cache.size();
+  }
+  return total;
+}
+
+size_t ShardedExecTimeCache::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->cache.MemoryBytes();
+  }
+  return total;
+}
+
+}  // namespace stage::serve

@@ -1,0 +1,73 @@
+#ifndef STAGE_SERVE_SHARDED_CACHE_H_
+#define STAGE_SERVE_SHARDED_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "stage/cache/exec_time_cache.h"
+
+namespace stage::serve {
+
+struct ShardedExecTimeCacheConfig {
+  // Per-entry behaviour of every shard. `cache.capacity` is the TOTAL
+  // capacity across shards; each shard gets ceil(capacity / num_shards).
+  cache::ExecTimeCacheConfig cache;
+  size_t num_shards = 8;
+};
+
+// Concurrency front for the §4.2 exec-time cache: N independent
+// ExecTimeCache shards, each behind its own mutex, keyed by
+// `feature_hash % num_shards`. Concurrent lookups on different shards never
+// serialize; a lookup racing an observation on the same shard takes the
+// shard lock for the (sub-microsecond) map operation. Aggregate counters
+// (hits/misses/evictions/size) are preserved as sums over shards, so the
+// serving layer reports the same cache telemetry as the single-threaded
+// predictor. With num_shards == 1 the behaviour — including eviction order
+// — is bit-for-bit identical to a bare ExecTimeCache.
+class ShardedExecTimeCache {
+ public:
+  explicit ShardedExecTimeCache(const ShardedExecTimeCacheConfig& config);
+
+  // Thread-safe cache lookup; counts a hit or miss exactly once.
+  std::optional<double> Predict(uint64_t key) const;
+
+  bool Contains(uint64_t key) const;
+
+  // Records an observed execution. Returns true when the key was already
+  // cached *before* this observation (the §4.3 pool-deduplication signal),
+  // checked and updated under one shard lock so callers need no separate
+  // Contains round trip.
+  bool Observe(uint64_t key, double exec_time, uint64_t tick);
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t shard_capacity() const;
+
+  // Aggregates over all shards. Counter reads are lock-free; size and
+  // memory walk the shards under their locks.
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+  size_t size() const;
+  size_t MemoryBytes() const;
+
+ private:
+  struct Shard {
+    explicit Shard(const cache::ExecTimeCacheConfig& config) : cache(config) {}
+    mutable std::mutex mutex;
+    cache::ExecTimeCache cache;
+  };
+
+  const Shard& ShardFor(uint64_t key) const {
+    return *shards_[key % shards_.size()];
+  }
+  Shard& ShardFor(uint64_t key) { return *shards_[key % shards_.size()]; }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace stage::serve
+
+#endif  // STAGE_SERVE_SHARDED_CACHE_H_

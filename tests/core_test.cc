@@ -77,7 +77,7 @@ TEST(AutoWlmTest, LearnsAfterEnoughObservations) {
 }
 
 TEST(StagePredictorTest, CacheServesExactRepeats) {
-  StagePredictor predictor(FastStage(), nullptr, nullptr);
+  StagePredictor predictor(FastStage());
   const plan::Plan plan = MakePlan(3.0);
   const QueryContext context = MakeQueryContext(plan, 0, 1);
   predictor.Observe(context, 7.0);
@@ -89,14 +89,14 @@ TEST(StagePredictorTest, CacheServesExactRepeats) {
 }
 
 TEST(StagePredictorTest, DefaultBeforeAnyTrainingOnMiss) {
-  StagePredictor predictor(FastStage(), nullptr, nullptr);
+  StagePredictor predictor(FastStage());
   const plan::Plan plan = MakePlan(3.0);
   const Prediction prediction = predictor.Predict(MakeQueryContext(plan, 0, 1));
   EXPECT_EQ(prediction.source, PredictionSource::kDefault);
 }
 
 TEST(StagePredictorTest, LocalModelTrainsAtThresholdAndServesMisses) {
-  StagePredictor predictor(FastStage(), nullptr, nullptr);
+  StagePredictor predictor(FastStage());
   Rng rng(5);
   // Distinct plans (cache misses) until the pool reaches min_train_size.
   for (int i = 0; i < 30; ++i) {
@@ -112,7 +112,7 @@ TEST(StagePredictorTest, LocalModelTrainsAtThresholdAndServesMisses) {
 }
 
 TEST(StagePredictorTest, PoolDeduplicatesRepeatsThroughCache) {
-  StagePredictor predictor(FastStage(), nullptr, nullptr);
+  StagePredictor predictor(FastStage());
   const plan::Plan plan = MakePlan(3.0);
   for (int i = 0; i < 10; ++i) {
     predictor.Observe(MakeQueryContext(plan, 0, i), 1.0);
@@ -145,7 +145,7 @@ TEST(StagePredictorTest, ColdStartUsesGlobalModelWhenAvailable) {
   const global::GlobalModel global_model =
       global::GlobalModel::Train(examples, global_config);
 
-  StagePredictor predictor(FastStage(), &global_model, &fleet[0].config);
+  StagePredictor predictor(FastStage(), {&global_model, &fleet[0].config});
   const auto& event = fleet[0].trace[0];
   const Prediction prediction =
       predictor.Predict(MakeQueryContext(event.plan, 0, 0));
@@ -177,7 +177,7 @@ TEST(StagePredictorTest, UncertainLongQueriesEscalateToGlobal) {
   StagePredictorConfig config = FastStage();
   config.short_running_seconds = 0.0;           // Nothing counts as short.
   config.uncertainty_log_std_threshold = 0.0;   // Nothing counts as sure.
-  StagePredictor predictor(config, &global_model, &fleet[0].config);
+  StagePredictor predictor(config, {&global_model, &fleet[0].config});
   Rng rng(9);
   for (int i = 0; i < 40; ++i) {
     const plan::Plan plan = MakePlan(rng.NextUniform(1.0, 2.0));
@@ -195,7 +195,7 @@ TEST(StagePredictorTest, UseGlobalFalseDisablesEscalation) {
   config.use_global = false;
   config.short_running_seconds = 0.0;
   config.uncertainty_log_std_threshold = 0.0;
-  StagePredictor predictor(config, nullptr, nullptr);
+  StagePredictor predictor(config);
   Rng rng(11);
   for (int i = 0; i < 40; ++i) {
     const plan::Plan plan = MakePlan(rng.NextUniform(1.0, 2.0));
@@ -244,7 +244,7 @@ TEST(AutoWlmTest, LogTargetVariantHandlesLongTail) {
 }
 
 TEST(StagePredictorTest, ObserveZeroExecTimeIsValid) {
-  StagePredictor predictor(FastStage(), nullptr, nullptr);
+  StagePredictor predictor(FastStage());
   const plan::Plan plan = MakePlan(1.0);
   const QueryContext context = MakeQueryContext(plan, 0, 1);
   predictor.Observe(context, 0.0);  // Result-cache-served query: 0s.
@@ -273,7 +273,7 @@ TEST(StagePredictorTest, GlobalWithoutInstanceDegradesGracefully) {
   config.epochs = 1;
   const auto model = global::GlobalModel::Train(examples, config);
 
-  StagePredictor predictor(FastStage(), &model, /*instance=*/nullptr);
+  StagePredictor predictor(FastStage(), {.global_model = &model});
   const plan::Plan plan = MakePlan(2.0);
   const Prediction prediction = predictor.Predict(MakeQueryContext(plan, 0, 0));
   EXPECT_EQ(prediction.source, PredictionSource::kDefault);
@@ -304,7 +304,7 @@ TEST(ReplayTest, StageAttributionCoversAllPredictions) {
   fleet::FleetGenerator generator(fleet_config);
   const auto fleet = generator.GenerateFleet();
 
-  StagePredictor predictor(FastStage(), nullptr, &fleet[0].config);
+  StagePredictor predictor(FastStage(), {.instance = &fleet[0].config});
   const ReplayResult result = ReplayTrace(fleet[0].trace, predictor);
   EXPECT_EQ(predictor.total_predictions(), fleet[0].trace.size());
   // Cache must have served a healthy share (the workload repeats a lot).

@@ -54,7 +54,7 @@ std::vector<fleet::InstanceTrace>* EndToEndTest::fleet_ = nullptr;
 
 TEST_F(EndToEndTest, StageBeatsAutoWlmOnMedianError) {
   const auto& instance = (*fleet_)[0];
-  core::StagePredictor stage(FastStageConfig(), nullptr, &instance.config);
+  core::StagePredictor stage(FastStageConfig(), {.instance = &instance.config});
   core::AutoWlmPredictor autowlm(FastAutoWlmConfig());
 
   const auto stage_result = core::ReplayTrace(instance.trace, stage);
@@ -72,7 +72,7 @@ TEST_F(EndToEndTest, StageBeatsAutoWlmOnMedianError) {
 TEST_F(EndToEndTest, CacheSubsetBeatsAutoWlmOnSameQueries) {
   // Table 3's comparison: on cache-hit queries, the cache beats AutoWLM.
   const auto& instance = (*fleet_)[1];
-  core::StagePredictor stage(FastStageConfig(), nullptr, &instance.config);
+  core::StagePredictor stage(FastStageConfig(), {.instance = &instance.config});
   core::AutoWlmPredictor autowlm(FastAutoWlmConfig());
   const auto stage_result = core::ReplayTrace(instance.trace, stage);
   const auto auto_result = core::ReplayTrace(instance.trace, autowlm);
@@ -99,7 +99,7 @@ TEST_F(EndToEndTest, LocalUncertaintyIsInformative) {
   // PRR of the local model's uncertainty on cache-miss queries should be
   // clearly positive (paper: fleet median ~0.9; small traces are noisier).
   const auto& instance = (*fleet_)[2];
-  core::StagePredictor stage(FastStageConfig(), nullptr, &instance.config);
+  core::StagePredictor stage(FastStageConfig(), {.instance = &instance.config});
   const auto result = core::ReplayTrace(instance.trace, stage);
 
   std::vector<double> errors;
@@ -122,7 +122,7 @@ TEST_F(EndToEndTest, WlmLatencyOrderingOptimalVsStageVsRandom) {
   // trace is compressed to realistic contention first — without queueing,
   // predictions cannot matter.
   const auto& instance = (*fleet_)[0];
-  core::StagePredictor stage(FastStageConfig(), nullptr, &instance.config);
+  core::StagePredictor stage(FastStageConfig(), {.instance = &instance.config});
   const auto stage_result = core::ReplayTrace(instance.trace, stage);
 
   wlm::WlmConfig config;
@@ -172,10 +172,10 @@ TEST_F(EndToEndTest, GlobalModelHelpsColdStart) {
   const std::vector<fleet::QueryEvent> head(target.trace.begin(),
                                             target.trace.begin() + 200);
 
-  core::StagePredictor with_global(FastStageConfig(), &global_model,
-                                   &target.config);
-  core::StagePredictor without_global(FastStageConfig(), nullptr,
-                                      &target.config);
+  core::StagePredictor with_global(FastStageConfig(),
+                                   {&global_model, &target.config});
+  core::StagePredictor without_global(FastStageConfig(),
+                                      {.instance = &target.config});
   const auto with_result = core::ReplayTrace(head, with_global);
   const auto without_result = core::ReplayTrace(head, without_global);
 

@@ -1,0 +1,298 @@
+// Tests for the stage::serve serving layer: single-threaded equivalence
+// with StagePredictor, sharded-cache behaviour, config validation, and the
+// multi-threaded reader/writer stress test (run it under
+// STAGE_SANITIZE=thread to prove the synchronization, see README.md).
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stage/core/replay.h"
+#include "stage/core/stage_predictor.h"
+#include "stage/fleet/fleet.h"
+#include "stage/serve/prediction_service.h"
+#include "stage/serve/sharded_cache.h"
+
+namespace stage::serve {
+namespace {
+
+core::StagePredictorConfig FastStage() {
+  core::StagePredictorConfig config;
+  config.local.ensemble.num_members = 4;
+  config.local.ensemble.member.num_rounds = 40;
+  config.min_train_size = 20;
+  config.retrain_interval = 100;
+  return config;
+}
+
+fleet::InstanceTrace MakeTrace(int num_queries, uint64_t seed = 2024) {
+  fleet::FleetConfig config;
+  config.num_instances = 1;
+  config.workload.num_queries = num_queries;
+  config.seed = seed;
+  fleet::FleetGenerator generator(config);
+  return generator.MakeInstanceTrace(0);
+}
+
+std::vector<core::QueryContext> MakeContexts(
+    const fleet::InstanceTrace& instance) {
+  std::vector<core::QueryContext> contexts;
+  contexts.reserve(instance.trace.size());
+  for (const fleet::QueryEvent& event : instance.trace) {
+    contexts.push_back(core::MakeQueryContext(
+        event.plan, event.concurrent_queries,
+        static_cast<uint64_t>(event.arrival_ms)));
+  }
+  return contexts;
+}
+
+TEST(ShardedCacheTest, SingleShardMatchesBareCache) {
+  cache::ExecTimeCacheConfig cache_config;
+  cache_config.capacity = 8;  // Small, to exercise eviction.
+  cache::ExecTimeCache bare(cache_config);
+  ShardedExecTimeCache sharded({cache_config, 1});
+
+  for (uint64_t i = 0; i < 64; ++i) {
+    const uint64_t key = i % 13;
+    const double exec = static_cast<double>(i) * 0.5;
+    EXPECT_EQ(bare.Contains(key), sharded.Contains(key)) << key;
+    bare.Observe(key, exec, i);
+    sharded.Observe(key, exec, i);
+    const auto bare_prediction = bare.Predict(key);
+    const auto sharded_prediction = sharded.Predict(key);
+    ASSERT_EQ(bare_prediction.has_value(), sharded_prediction.has_value());
+    EXPECT_DOUBLE_EQ(*bare_prediction, *sharded_prediction);
+  }
+  EXPECT_EQ(bare.size(), sharded.size());
+  EXPECT_EQ(bare.hits(), sharded.hits());
+  EXPECT_EQ(bare.misses(), sharded.misses());
+  EXPECT_EQ(bare.evictions(), sharded.evictions());
+}
+
+TEST(ShardedCacheTest, SplitsCapacityAndAggregatesCounters) {
+  cache::ExecTimeCacheConfig cache_config;
+  cache_config.capacity = 100;
+  ShardedExecTimeCache sharded({cache_config, 8});
+  EXPECT_EQ(sharded.num_shards(), 8u);
+  EXPECT_EQ(sharded.shard_capacity(), 13u);  // ceil(100 / 8).
+
+  for (uint64_t key = 0; key < 40; ++key) sharded.Observe(key, 1.0, key);
+  EXPECT_EQ(sharded.size(), 40u);
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  for (uint64_t key = 0; key < 80; ++key) {
+    if (sharded.Predict(key)) {
+      ++hits;
+    } else {
+      ++misses;
+    }
+  }
+  EXPECT_EQ(sharded.hits(), hits);
+  EXPECT_EQ(sharded.misses(), misses);
+  EXPECT_GT(sharded.MemoryBytes(), 0u);
+}
+
+TEST(ServiceConfigTest, ValidateRejectsNonsense) {
+  PredictionServiceConfig config;
+  EXPECT_TRUE(config.Validate().empty());
+
+  config.cache_shards = 0;
+  EXPECT_FALSE(config.Validate().empty());
+  config.cache_shards = 8;
+
+  config.predictor.cache.capacity = 0;
+  EXPECT_FALSE(config.Validate().empty());
+  config.predictor.cache.capacity = 2000;
+
+  config.predictor.cache.alpha = 1.5;
+  EXPECT_FALSE(config.Validate().empty());
+  config.predictor.cache.alpha = 0.8;
+
+  config.predictor.retrain_interval = 0;
+  EXPECT_FALSE(config.Validate().empty());
+  config.predictor.retrain_interval = 400;
+
+  config.predictor.min_train_size = 0;
+  EXPECT_FALSE(config.Validate().empty());
+  config.predictor.min_train_size = 30;
+
+  config.predictor.local.ensemble.num_members = 0;
+  EXPECT_FALSE(config.Validate().empty());
+  config.predictor.local.ensemble.num_members = 10;
+
+  EXPECT_TRUE(config.Validate().empty());
+}
+
+// Acceptance bar: with one shard and inline (synchronous) retraining, a
+// single-threaded replay through the service is bit-for-bit identical to
+// the same replay through StagePredictor — every prediction, every source,
+// every attribution counter.
+TEST(PredictionServiceTest, SingleThreadedReplayMatchesStagePredictor) {
+  const fleet::InstanceTrace instance = MakeTrace(1200);
+
+  core::StagePredictor reference(FastStage(), {.instance = &instance.config});
+  PredictionServiceConfig service_config;
+  service_config.predictor = FastStage();
+  service_config.cache_shards = 1;
+  service_config.async_retrain = false;
+  PredictionService service(service_config, {.instance = &instance.config});
+
+  const core::ReplayResult expected =
+      core::ReplayTrace(instance.trace, reference);
+  const core::ReplayResult got = core::ReplayTrace(instance.trace, service);
+
+  ASSERT_EQ(expected.records.size(), got.records.size());
+  for (size_t i = 0; i < expected.records.size(); ++i) {
+    EXPECT_EQ(expected.records[i].source, got.records[i].source) << i;
+    EXPECT_DOUBLE_EQ(expected.records[i].predicted_seconds,
+                     got.records[i].predicted_seconds)
+        << i;
+  }
+  for (int s = 0; s < core::kNumPredictionSources; ++s) {
+    const auto source = static_cast<core::PredictionSource>(s);
+    EXPECT_EQ(reference.predictions_from(source),
+              service.predictions_from(source))
+        << core::PredictionSourceName(source);
+  }
+  EXPECT_EQ(reference.exec_time_cache().hits(),
+            service.exec_time_cache().hits());
+  EXPECT_EQ(reference.exec_time_cache().misses(),
+            service.exec_time_cache().misses());
+  EXPECT_EQ(reference.exec_time_cache().evictions(),
+            service.exec_time_cache().evictions());
+  EXPECT_EQ(static_cast<int>(reference.local_model().trainings()),
+            service.trainings());
+}
+
+TEST(PredictionServiceTest, PredictBatchMatchesLoopedPredict) {
+  const fleet::InstanceTrace instance = MakeTrace(400);
+  const std::vector<core::QueryContext> contexts = MakeContexts(instance);
+
+  PredictionServiceConfig config;
+  config.predictor = FastStage();
+  config.async_retrain = false;
+  PredictionService service(config, {.instance = &instance.config});
+  for (size_t i = 0; i < contexts.size(); ++i) {
+    service.Observe(contexts[i], instance.trace[i].exec_seconds);
+  }
+
+  const std::vector<core::Prediction> batch = service.PredictBatch(contexts);
+  ASSERT_EQ(batch.size(), contexts.size());
+  for (size_t i = 0; i < contexts.size(); ++i) {
+    const core::Prediction single = service.Predict(contexts[i]);
+    EXPECT_EQ(batch[i].source, single.source) << i;
+    EXPECT_DOUBLE_EQ(batch[i].seconds, single.seconds) << i;
+  }
+  // Every prediction was attributed and counted.
+  EXPECT_EQ(service.total_predictions(), 2 * contexts.size());
+  EXPECT_EQ(service.predict_latency().total_count(), 2 * contexts.size());
+}
+
+TEST(PredictionServiceTest, AsyncRetrainPublishesModelInBackground) {
+  const fleet::InstanceTrace instance = MakeTrace(600);
+  const std::vector<core::QueryContext> contexts = MakeContexts(instance);
+
+  PredictionServiceConfig config;
+  config.predictor = FastStage();
+  config.async_retrain = true;
+  PredictionService service(config, {.instance = &instance.config});
+
+  EXPECT_EQ(service.local_model_snapshot(), nullptr);
+  for (size_t i = 0; i < contexts.size(); ++i) {
+    service.Predict(contexts[i]);
+    service.Observe(contexts[i], instance.trace[i].exec_seconds);
+  }
+  service.WaitForRetrain();
+  EXPECT_GE(service.trainings(), 1);
+  const auto model = service.local_model_snapshot();
+  ASSERT_NE(model, nullptr);
+  EXPECT_TRUE(model->trained());
+  // A fresh (uncached) query is now served by the swapped-in local model.
+  const fleet::InstanceTrace probe = MakeTrace(10, /*seed=*/999);
+  const core::Prediction prediction =
+      service.Predict(MakeContexts(probe).front());
+  EXPECT_NE(prediction.source, core::PredictionSource::kDefault);
+}
+
+// The issue's stress test: 8 reader threads hammering Predict/PredictBatch
+// race one writer replaying the trace (Observe) across several retrain
+// boundaries. Asserts no lost counters (every prediction attributed, every
+// cache lookup counted) and monotone attribution totals. Run under TSan to
+// prove the absence of data races.
+TEST(PredictionServiceTest, ConcurrentReadersWithRetrainingWriter) {
+  const fleet::InstanceTrace instance = MakeTrace(1500);
+  const std::vector<core::QueryContext> contexts = MakeContexts(instance);
+
+  PredictionServiceConfig config;
+  config.predictor = FastStage();
+  config.predictor.retrain_interval = 150;  // Several retrains per replay.
+  config.cache_shards = 8;
+  config.async_retrain = true;
+  PredictionService service(config, {.instance = &instance.config});
+
+  constexpr int kNumReaders = 8;
+  constexpr int kPredictsPerReader = 3000;
+  constexpr int kBatchSize = 16;
+  std::atomic<bool> writer_done{false};
+  std::atomic<uint64_t> reader_predictions{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kNumReaders);
+  for (int r = 0; r < kNumReaders; ++r) {
+    readers.emplace_back([&, r] {
+      uint64_t made = 0;
+      uint64_t last_total = 0;
+      size_t at = static_cast<size_t>(r) * 131;
+      while (made < kPredictsPerReader) {
+        if (made % 3 == 0 && made + kBatchSize <= kPredictsPerReader) {
+          // Batched read path, racing the writer.
+          const size_t begin = at % (contexts.size() - kBatchSize);
+          const std::span<const core::QueryContext> window(
+              contexts.data() + begin, kBatchSize);
+          made += service.PredictBatch(window).size();
+        } else {
+          service.Predict(contexts[at % contexts.size()]);
+          ++made;
+        }
+        at += 127;
+        // Attribution totals only ever grow, even mid-retrain-swap.
+        const uint64_t total = service.total_predictions();
+        EXPECT_GE(total, last_total);
+        last_total = total;
+      }
+      reader_predictions.fetch_add(made);
+    });
+  }
+
+  std::thread writer([&] {
+    for (size_t i = 0; i < contexts.size(); ++i) {
+      service.Predict(contexts[i]);  // The serving flow: predict, run, observe.
+      service.Observe(contexts[i], instance.trace[i].exec_seconds);
+    }
+    writer_done.store(true);
+  });
+
+  for (std::thread& reader : readers) reader.join();
+  writer.join();
+  ASSERT_TRUE(writer_done.load());
+  service.WaitForRetrain();
+
+  // No lost attribution: readers + writer predictions all counted.
+  const uint64_t expected_predictions =
+      reader_predictions.load() + contexts.size();
+  EXPECT_EQ(service.total_predictions(), expected_predictions);
+  // No lost cache counters: every Predict did exactly one cache lookup.
+  EXPECT_EQ(service.exec_time_cache().hits() +
+                service.exec_time_cache().misses(),
+            expected_predictions);
+  // Per-source latency telemetry saw every prediction too.
+  EXPECT_EQ(service.predict_latency().total_count(), expected_predictions);
+  // The writer crossed retrain boundaries and models were swapped in.
+  EXPECT_GE(service.trainings(), 1);
+  ASSERT_NE(service.local_model_snapshot(), nullptr);
+}
+
+}  // namespace
+}  // namespace stage::serve

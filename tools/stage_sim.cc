@@ -7,15 +7,23 @@
 //   replay        Replay instances with Stage + AutoWLM, print accuracy
 //                 tables (optionally loading a global checkpoint).
 //   wlm           End-to-end workload-manager comparison (Fig. 6 style).
+//   serve         Drive the concurrent PredictionService: one writer
+//                 replays the trace while N reader threads predict; prints
+//                 attribution, cache stats, and per-source latency/QPS.
 //
 // Examples:
 //   stage_sim trace --instances=2 --queries=500
 //   stage_sim train-global --instances=12 --queries=1000 --out=global.bin
 //   stage_sim replay --instances=4 --queries=2000 --global=global.bin
 //   stage_sim wlm --instances=4 --queries=2000 --utilization=0.75
+//   stage_sim serve --queries=2000 --threads=8 --shards=8
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "stage/common/flags.h"
 #include "stage/common/stats.h"
@@ -26,6 +34,7 @@
 #include "stage/global/global_model.h"
 #include "stage/metrics/error_metrics.h"
 #include "stage/metrics/report.h"
+#include "stage/serve/prediction_service.h"
 #include "stage/wlm/trace_util.h"
 #include "stage/wlm/workload_manager.h"
 
@@ -36,17 +45,19 @@ namespace {
 const std::vector<std::string> kKnownFlags = {
     "instances", "queries",  "seed",        "csv",  "out",
     "global",    "members",  "rounds",      "help", "utilization",
-    "short_slots", "long_slots"};
+    "short_slots", "long_slots", "threads", "shards", "sync"};
 
 void PrintUsage() {
   std::printf(
-      "usage: stage_sim <trace|train-global|replay|wlm> [flags]\n"
+      "usage: stage_sim <trace|train-global|replay|wlm|serve> [flags]\n"
       "  common flags: --instances=N --queries=N --seed=N\n"
       "  trace:        --csv (per-query CSV to stdout)\n"
       "  train-global: --out=FILE (checkpoint path, default global.bin)\n"
       "  replay:       --global=FILE --members=K --rounds=R --csv\n"
       "  wlm:          --global=FILE --utilization=U --short_slots=N "
-      "--long_slots=N\n");
+      "--long_slots=N\n"
+      "  serve:        --global=FILE --threads=N --shards=N --sync "
+      "(inline retrain)\n");
 }
 
 fleet::FleetConfig FleetFromFlags(const Flags& flags) {
@@ -167,9 +178,9 @@ int RunReplay(const Flags& flags) {
   std::vector<double> autowlm_pred;
   for (int i = 0; i < generator.config().num_instances; ++i) {
     const fleet::InstanceTrace instance = generator.MakeInstanceTrace(i);
-    core::StagePredictor stage(StageConfigFromFlags(flags),
-                               use_global ? &global_model : nullptr,
-                               &instance.config);
+    core::StagePredictor stage(
+        StageConfigFromFlags(flags),
+        {use_global ? &global_model : nullptr, &instance.config});
     core::AutoWlmPredictor autowlm{core::AutoWlmConfig{}};
     const auto stage_result = core::ReplayTrace(instance.trace, stage);
     const auto autowlm_result = core::ReplayTrace(instance.trace, autowlm);
@@ -233,9 +244,9 @@ int RunWlm(const Flags& flags) {
   std::vector<double> optimal_latency;
   for (int i = 0; i < generator.config().num_instances; ++i) {
     const fleet::InstanceTrace instance = generator.MakeInstanceTrace(i);
-    core::StagePredictor stage(StageConfigFromFlags(flags),
-                               use_global ? &global_model : nullptr,
-                               &instance.config);
+    core::StagePredictor stage(
+        StageConfigFromFlags(flags),
+        {use_global ? &global_model : nullptr, &instance.config});
     core::AutoWlmPredictor autowlm{core::AutoWlmConfig{}};
     const auto stage_result = core::ReplayTrace(instance.trace, stage);
     const auto autowlm_result = core::ReplayTrace(instance.trace, autowlm);
@@ -271,6 +282,90 @@ int RunWlm(const Flags& flags) {
   return 0;
 }
 
+int RunServe(const Flags& flags) {
+  global::GlobalModel global_model;
+  bool use_global = false;
+  if (!MaybeLoadGlobal(flags, &global_model, &use_global)) return 1;
+
+  fleet::FleetGenerator generator(FleetFromFlags(flags));
+  const fleet::InstanceTrace instance = generator.MakeInstanceTrace(0);
+  std::vector<core::QueryContext> contexts;
+  contexts.reserve(instance.trace.size());
+  for (const fleet::QueryEvent& event : instance.trace) {
+    contexts.push_back(core::MakeQueryContext(
+        event.plan, event.concurrent_queries,
+        static_cast<uint64_t>(event.arrival_ms)));
+  }
+
+  serve::PredictionServiceConfig config;
+  config.predictor = StageConfigFromFlags(flags);
+  config.cache_shards = static_cast<size_t>(flags.GetInt("shards", 8));
+  config.async_retrain = !flags.GetBool("sync", false);
+  serve::PredictionService service(
+      config, {use_global ? &global_model : nullptr, &instance.config});
+
+  // One writer replays the production flow (predict, execute, observe);
+  // N reader threads model concurrent sessions asking for predictions.
+  const int num_readers = static_cast<int>(flags.GetInt("threads", 4));
+  std::atomic<bool> writer_done{false};
+  std::atomic<uint64_t> reader_predictions{0};
+  const auto start = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> readers;
+  readers.reserve(static_cast<size_t>(num_readers));
+  for (int r = 0; r < num_readers; ++r) {
+    readers.emplace_back([&, r] {
+      uint64_t made = 0;
+      size_t at = static_cast<size_t>(r) * 131;
+      // Floor of one pass over the trace: on few-core machines the writer
+      // can finish before a reader is ever scheduled.
+      while (!writer_done.load(std::memory_order_relaxed) ||
+             made < contexts.size()) {
+        service.Predict(contexts[at % contexts.size()]);
+        at += 127;
+        ++made;
+      }
+      reader_predictions.fetch_add(made);
+    });
+  }
+  for (size_t i = 0; i < contexts.size(); ++i) {
+    service.Predict(contexts[i]);
+    service.Observe(contexts[i], instance.trace[i].exec_seconds);
+  }
+  writer_done.store(true);
+  for (std::thread& reader : readers) reader.join();
+  service.WaitForRetrain();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::printf("replayed %zu queries + %llu concurrent reads in %.2fs "
+              "(%.0f predictions/s, %d reader threads, %zu cache shards, "
+              "%s retrain)\n",
+              contexts.size(),
+              static_cast<unsigned long long>(reader_predictions.load()),
+              elapsed,
+              metrics::LatencyRecorder::Qps(service.total_predictions(),
+                                            elapsed),
+              num_readers, service.exec_time_cache().num_shards(),
+              config.async_retrain ? "async" : "inline");
+  std::printf("trainings: %d, cache hits: %llu, misses: %llu, evictions: "
+              "%llu, pool: %zu, resident: %zu bytes\n",
+              service.trainings(),
+              static_cast<unsigned long long>(service.exec_time_cache().hits()),
+              static_cast<unsigned long long>(
+                  service.exec_time_cache().misses()),
+              static_cast<unsigned long long>(
+                  service.exec_time_cache().evictions()),
+              service.pool_size(), service.LocalMemoryBytes());
+  std::printf("%s", service.predict_latency()
+                        .RenderTable(serve::PredictionService::
+                                         PredictLatencySlotNames(),
+                                     elapsed)
+                        .c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -290,6 +385,7 @@ int main(int argc, char** argv) {
   if (command == "train-global") return RunTrainGlobal(flags);
   if (command == "replay") return RunReplay(flags);
   if (command == "wlm") return RunWlm(flags);
+  if (command == "serve") return RunServe(flags);
   std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
   PrintUsage();
   return 1;
