@@ -1,6 +1,10 @@
 #include "stage/cache/exec_time_cache.h"
 
+#include <cmath>
+#include <utility>
+
 #include "stage/common/macros.h"
+#include "stage/common/serialize.h"
 
 namespace stage::cache {
 
@@ -64,6 +68,65 @@ void ExecTimeCache::Observe(uint64_t key, double exec_time, uint64_t tick) {
   entry.last_exec_time = exec_time;
   entry.last_update_tick = tick;
   by_update_time_.emplace(std::make_pair(tick, key), key);
+}
+
+namespace {
+constexpr uint32_t kCacheMagic = 0x53434348;  // "SCCH".
+constexpr uint32_t kCacheVersion = 1;
+}  // namespace
+
+void ExecTimeCache::Save(std::ostream& out) const {
+  WriteHeader(out, kCacheMagic, kCacheVersion);
+  WritePod<uint64_t>(out, entries_.size());
+  // Walk the eviction index, not the hash map: the on-disk order is then
+  // deterministic (ascending last-update tick) regardless of hash-map
+  // layout, so identical cache states produce identical snapshot bytes.
+  for (const auto& [tick_key, key] : by_update_time_) {
+    const auto it = entries_.find(key);
+    STAGE_CHECK(it != entries_.end());
+    const Entry& entry = it->second;
+    WritePod(out, key);
+    entry.stats.Save(out);
+    entry.median.Save(out);
+    WritePod(out, entry.last_exec_time);
+    WritePod(out, entry.last_update_tick);
+  }
+}
+
+bool ExecTimeCache::Load(std::istream& in) {
+  if (!ReadHeader(in, kCacheMagic, kCacheVersion)) return false;
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) return false;
+  if (count > config_.capacity) return false;  // Config mismatch.
+  // Each entry needs at least key + last_exec_time + tick on the wire;
+  // bound the loop by the remaining stream so a corrupt count fails fast.
+  const std::optional<uint64_t> remaining = RemainingBytes(in);
+  if (remaining && count > *remaining / (3 * sizeof(uint64_t))) return false;
+  std::unordered_map<uint64_t, Entry> entries;
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> by_update_time;
+  entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t key = 0;
+    Entry entry;
+    if (!ReadPod(in, &key) || !entry.stats.Load(in) ||
+        !entry.median.Load(in) || !ReadPod(in, &entry.last_exec_time) ||
+        !ReadPod(in, &entry.last_update_tick)) {
+      return false;
+    }
+    if (!std::isfinite(entry.last_exec_time) || entry.last_exec_time < 0.0) {
+      return false;
+    }
+    if (!entries.emplace(key, entry).second) return false;  // Duplicate key.
+    by_update_time.emplace(std::make_pair(entry.last_update_tick, key), key);
+  }
+  entries_ = std::move(entries);
+  by_update_time_ = std::move(by_update_time);
+  // Telemetry (hits/misses/evictions) intentionally restarts at zero: the
+  // counters describe a process lifetime, not the cached state.
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_ = 0;
+  return true;
 }
 
 size_t ExecTimeCache::MemoryBytes() const {

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <optional>
 #include <unordered_map>
@@ -76,6 +77,16 @@ class ExecTimeCache {
 
   // Approximate resident size (Fig. 9 accounting).
   size_t MemoryBytes() const;
+
+  // Checkpointing. Save writes every entry in eviction order (deterministic
+  // across runs and hash-map layouts); Load replaces the entry set
+  // transactionally and rebuilds the eviction index, so a restored cache
+  // predicts and evicts bit-for-bit like the original. Telemetry counters
+  // (hits/misses/evictions) are deliberately not persisted and restart at
+  // zero. Load returns false — leaving the cache untouched — on a
+  // malformed stream or when the snapshot exceeds the configured capacity.
+  void Save(std::ostream& out) const;
+  bool Load(std::istream& in);
 
  private:
   ExecTimeCacheConfig config_;

@@ -1,0 +1,140 @@
+#include "stage/ckpt/checkpoint.h"
+
+#include <sstream>
+#include <utility>
+
+namespace stage::ckpt {
+
+namespace {
+
+void SetError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+template <typename SaveFn>
+bool SaveWrapped(const std::string& path, SnapshotKind kind, SaveFn&& save,
+                 std::string* error) {
+  std::ostringstream payload;
+  save(payload);
+  if (!payload) {
+    SetError(error, "serialization failed");
+    return false;
+  }
+  return WriteSnapshotFile(path, kind, payload.view(), error);
+}
+
+template <typename LoadFn>
+bool LoadWrapped(const std::string& path, SnapshotKind kind, LoadFn&& load,
+                 std::string* error) {
+  std::string payload;
+  if (!ReadSnapshotFile(path, kind, &payload, error)) return false;
+  std::istringstream in(std::move(payload));
+  if (!load(in)) {
+    SetError(error, std::string(SnapshotKindName(kind)) +
+                        " snapshot payload is malformed");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SaveServiceSnapshot(const serve::PredictionService& service,
+                         const std::string& path, std::string* error) {
+  return SaveWrapped(
+      path, SnapshotKind::kPredictionService,
+      [&](std::ostream& out) { service.SaveCheckpoint(out); }, error);
+}
+
+bool LoadServiceSnapshot(serve::PredictionService* service,
+                         const std::string& path, std::string* error) {
+  return LoadWrapped(
+      path, SnapshotKind::kPredictionService,
+      [&](std::istream& in) { return service->LoadCheckpoint(in); }, error);
+}
+
+bool SavePredictorSnapshot(const core::StagePredictor& predictor,
+                           const std::string& path, std::string* error) {
+  return SaveWrapped(
+      path, SnapshotKind::kStagePredictor,
+      [&](std::ostream& out) { predictor.Save(out); }, error);
+}
+
+bool LoadPredictorSnapshot(core::StagePredictor* predictor,
+                           const std::string& path, std::string* error) {
+  return LoadWrapped(
+      path, SnapshotKind::kStagePredictor,
+      [&](std::istream& in) { return predictor->Load(in); }, error);
+}
+
+bool SaveLocalModelSnapshot(const local::LocalModel& model,
+                            const std::string& path, std::string* error) {
+  return SaveWrapped(
+      path, SnapshotKind::kLocalModel,
+      [&](std::ostream& out) { model.Save(out); }, error);
+}
+
+bool LoadLocalModelSnapshot(local::LocalModel* model, const std::string& path,
+                            std::string* error) {
+  return LoadWrapped(
+      path, SnapshotKind::kLocalModel,
+      [&](std::istream& in) { return model->Load(in); }, error);
+}
+
+PeriodicCheckpointer::PeriodicCheckpointer(
+    const serve::PredictionService& service, Options options)
+    : service_(service), options_(std::move(options)) {
+  if (options_.checkpoint_on_start) TriggerNow();
+  worker_ = std::thread([this] { Loop(); });
+}
+
+PeriodicCheckpointer::~PeriodicCheckpointer() { Stop(); }
+
+void PeriodicCheckpointer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (stopping_ && !worker_.joinable()) return;
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+bool PeriodicCheckpointer::TriggerNow(std::string* error) {
+  std::string local_error;
+  if (WriteOnce(&local_error)) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    last_error_ = local_error;
+  }
+  SetError(error, std::move(local_error));
+  return false;
+}
+
+std::string PeriodicCheckpointer::last_error() const {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  return last_error_;
+}
+
+void PeriodicCheckpointer::Loop() {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  while (!stopping_) {
+    if (stop_cv_.wait_for(lock, options_.interval,
+                          [this] { return stopping_; })) {
+      return;
+    }
+    lock.unlock();
+    TriggerNow();
+    lock.lock();
+  }
+}
+
+bool PeriodicCheckpointer::WriteOnce(std::string* error) {
+  return SaveServiceSnapshot(service_, options_.path, error);
+}
+
+}  // namespace stage::ckpt

@@ -1,0 +1,105 @@
+#ifndef STAGE_CKPT_CHECKPOINT_H_
+#define STAGE_CKPT_CHECKPOINT_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "stage/ckpt/snapshot_file.h"
+#include "stage/core/stage_predictor.h"
+#include "stage/local/local_model.h"
+#include "stage/serve/prediction_service.h"
+
+namespace stage::ckpt {
+
+// Crash-safe snapshot/warm-restart entry points (the deployment story of
+// paper §4.4 extended to the whole predictor: "train once, ship the
+// checkpoint to every instance" only works if the checkpoint is complete
+// and restarts are warm). Each helper serializes the object's SaveCheckpoint
+// / Save stream into the CRC-checked envelope and publishes it with the
+// write-tmp-then-rename protocol of snapshot_file.h.
+
+// Full PredictionService state (sharded cache, pool, cadence, local model).
+bool SaveServiceSnapshot(const serve::PredictionService& service,
+                         const std::string& path,
+                         std::string* error = nullptr);
+bool LoadServiceSnapshot(serve::PredictionService* service,
+                         const std::string& path,
+                         std::string* error = nullptr);
+
+// Single-threaded StagePredictor state (cache, pool, cadence, local model).
+bool SavePredictorSnapshot(const core::StagePredictor& predictor,
+                           const std::string& path,
+                           std::string* error = nullptr);
+bool LoadPredictorSnapshot(core::StagePredictor* predictor,
+                           const std::string& path,
+                           std::string* error = nullptr);
+
+// Bare local model (the §4.3 ensemble, including the MAE member).
+bool SaveLocalModelSnapshot(const local::LocalModel& model,
+                            const std::string& path,
+                            std::string* error = nullptr);
+bool LoadLocalModelSnapshot(local::LocalModel* model, const std::string& path,
+                            std::string* error = nullptr);
+
+// Background checkpointer: snapshots a PredictionService to `path` every
+// `interval`, on a dedicated thread, using the atomic-rename protocol — a
+// crash at any instant leaves the last published snapshot loadable. The
+// service's SaveCheckpoint pauses writers (never readers) for the duration
+// of the state serialization, so periodic checkpointing does not stall the
+// prediction path. The service must outlive the checkpointer.
+class PeriodicCheckpointer {
+ public:
+  struct Options {
+    std::string path;
+    std::chrono::milliseconds interval{60000};
+    // When true, write one snapshot immediately on construction.
+    bool checkpoint_on_start = false;
+  };
+
+  PeriodicCheckpointer(const serve::PredictionService& service,
+                       Options options);
+  ~PeriodicCheckpointer();
+
+  PeriodicCheckpointer(const PeriodicCheckpointer&) = delete;
+  PeriodicCheckpointer& operator=(const PeriodicCheckpointer&) = delete;
+
+  // Writes one snapshot synchronously on the calling thread (safe to race
+  // the background thread; the rename publication serializes in the
+  // filesystem). Returns false and fills `error` on failure.
+  bool TriggerNow(std::string* error = nullptr);
+
+  // Stops the background thread after at most one more in-flight snapshot.
+  // Idempotent; also called by the destructor.
+  void Stop();
+
+  uint64_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  uint64_t failed() const { return failed_.load(std::memory_order_relaxed); }
+  // Last failure message; empty when every snapshot so far succeeded.
+  std::string last_error() const;
+
+ private:
+  void Loop();
+  bool WriteOnce(std::string* error);
+
+  const serve::PredictionService& service_;
+  const Options options_;
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+  mutable std::mutex error_mutex_;
+  std::string last_error_;
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread worker_;
+};
+
+}  // namespace stage::ckpt
+
+#endif  // STAGE_CKPT_CHECKPOINT_H_

@@ -1,0 +1,132 @@
+#include "stage/ckpt/snapshot_file.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "stage/common/crc32.h"
+#include "stage/common/serialize.h"
+
+namespace stage::ckpt {
+
+namespace {
+
+constexpr uint32_t kEnvelopeMagic = 0x53534e50;  // "SSNP".
+constexpr uint32_t kEnvelopeVersion = 1;
+
+void SetError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+}  // namespace
+
+std::string_view SnapshotKindName(SnapshotKind kind) {
+  switch (kind) {
+    case SnapshotKind::kLocalModel:
+      return "local-model";
+    case SnapshotKind::kExecTimeCache:
+      return "exec-time-cache";
+    case SnapshotKind::kTrainingPool:
+      return "training-pool";
+    case SnapshotKind::kStagePredictor:
+      return "stage-predictor";
+    case SnapshotKind::kPredictionService:
+      return "prediction-service";
+  }
+  return "unknown";
+}
+
+void WriteSnapshotStream(std::ostream& out, SnapshotKind kind,
+                         std::string_view payload) {
+  WritePod(out, kEnvelopeMagic);
+  WritePod(out, kEnvelopeVersion);
+  WritePod(out, static_cast<uint32_t>(kind));
+  WritePod<uint64_t>(out, payload.size());
+  WritePod(out, Crc32(payload));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+bool ReadSnapshotStream(std::istream& in, SnapshotKind kind,
+                        std::string* payload, std::string* error) {
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint32_t file_kind = 0;
+  uint64_t payload_size = 0;
+  uint32_t payload_crc = 0;
+  if (!ReadPod(in, &magic) || !ReadPod(in, &version) ||
+      !ReadPod(in, &file_kind) || !ReadPod(in, &payload_size) ||
+      !ReadPod(in, &payload_crc)) {
+    SetError(error, "snapshot header truncated");
+    return false;
+  }
+  if (magic != kEnvelopeMagic) {
+    SetError(error, "not a snapshot file (bad magic)");
+    return false;
+  }
+  if (version != kEnvelopeVersion) {
+    SetError(error, "unsupported snapshot envelope version");
+    return false;
+  }
+  if (file_kind != static_cast<uint32_t>(kind)) {
+    SetError(error, std::string("snapshot kind mismatch: expected ") +
+                        std::string(SnapshotKindName(kind)));
+    return false;
+  }
+  // Reject the declared size against the actual stream length before
+  // allocating, so a corrupt size field cannot trigger a huge allocation.
+  const std::optional<uint64_t> remaining = RemainingBytes(in);
+  if (remaining && payload_size > *remaining) {
+    SetError(error, "snapshot payload truncated");
+    return false;
+  }
+  std::string bytes(payload_size, '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(payload_size));
+  if (!in) {
+    SetError(error, "snapshot payload truncated");
+    return false;
+  }
+  if (Crc32(bytes) != payload_crc) {
+    SetError(error, "snapshot payload checksum mismatch");
+    return false;
+  }
+  *payload = std::move(bytes);
+  return true;
+}
+
+bool WriteSnapshotFile(const std::string& path, SnapshotKind kind,
+                       std::string_view payload, std::string* error) {
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      SetError(error, "cannot open " + tmp_path + " for writing");
+      return false;
+    }
+    WriteSnapshotStream(out, kind, payload);
+    out.flush();
+    if (!out) {
+      SetError(error, "write to " + tmp_path + " failed");
+      std::remove(tmp_path.c_str());
+      return false;
+    }
+  }
+  // The atomic publication step: readers only ever see the old complete
+  // snapshot or the new complete snapshot, never a torn one.
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    SetError(error, "rename " + tmp_path + " -> " + path + " failed");
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ReadSnapshotFile(const std::string& path, SnapshotKind kind,
+                      std::string* payload, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    SetError(error, "cannot open " + path);
+    return false;
+  }
+  return ReadSnapshotStream(in, kind, payload, error);
+}
+
+}  // namespace stage::ckpt

@@ -1,0 +1,58 @@
+#ifndef STAGE_CKPT_SNAPSHOT_FILE_H_
+#define STAGE_CKPT_SNAPSHOT_FILE_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace stage::ckpt {
+
+// What a snapshot file contains; written into the envelope header so a
+// reader can never mistake, say, a bare local-model checkpoint for a full
+// service snapshot.
+enum class SnapshotKind : uint32_t {
+  kLocalModel = 1,
+  kExecTimeCache = 2,
+  kTrainingPool = 3,
+  kStagePredictor = 4,
+  kPredictionService = 5,
+};
+
+std::string_view SnapshotKindName(SnapshotKind kind);
+
+// The versioned, CRC-checked envelope around every checkpoint payload:
+//
+//   u32 magic   "SSNP"
+//   u32 version (envelope format, currently 1)
+//   u32 kind    (SnapshotKind)
+//   u64 payload_size
+//   u32 payload_crc32
+//   payload bytes
+//
+// The CRC covers the payload bytes, so truncation (size mismatch) and bit
+// rot (checksum mismatch) are both detected before any payload parser runs.
+void WriteSnapshotStream(std::ostream& out, SnapshotKind kind,
+                         std::string_view payload);
+
+// Reads and verifies an envelope of the expected kind; on success `payload`
+// holds the verified bytes. On failure returns false and, when `error` is
+// non-null, a one-line description of the first problem.
+bool ReadSnapshotStream(std::istream& in, SnapshotKind kind,
+                        std::string* payload, std::string* error = nullptr);
+
+// Crash-safe file publication: writes the envelope to `path + ".tmp"`,
+// flushes, and atomically renames over `path`. A writer killed mid-write
+// leaves at most a stale *.tmp behind — the previously published snapshot
+// at `path` is never touched until the new one is fully on disk.
+bool WriteSnapshotFile(const std::string& path, SnapshotKind kind,
+                       std::string_view payload, std::string* error = nullptr);
+
+// Reads and verifies a published snapshot file (never the *.tmp).
+bool ReadSnapshotFile(const std::string& path, SnapshotKind kind,
+                      std::string* payload, std::string* error = nullptr);
+
+}  // namespace stage::ckpt
+
+#endif  // STAGE_CKPT_SNAPSHOT_FILE_H_

@@ -1,0 +1,22 @@
+#ifndef STAGE_COMMON_CRC32_H_
+#define STAGE_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace stage {
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum the
+// checkpoint envelope uses to detect torn or bit-rotted snapshot payloads
+// (src/stage/ckpt). Incremental use: feed the previous return value back in
+// as `seed` to extend a running checksum.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view bytes, uint32_t seed = 0) {
+  return Crc32(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace stage
+
+#endif  // STAGE_COMMON_CRC32_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "stage/common/macros.h"
+#include "stage/common/serialize.h"
 
 namespace stage {
 
@@ -85,6 +86,48 @@ double P2Quantile::Value() const {
     return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
   }
   return heights_[2];
+}
+
+void P2Quantile::Save(std::ostream& out) const {
+  WritePod(out, quantile_);
+  WritePod<uint64_t>(out, count_);
+  for (double h : heights_) WritePod(out, h);
+  for (double p : positions_) WritePod(out, p);
+  for (double d : desired_) WritePod(out, d);
+  for (double d : desired_increments_) WritePod(out, d);
+}
+
+bool P2Quantile::Load(std::istream& in) {
+  double quantile = 0.0;
+  uint64_t count = 0;
+  std::array<double, 5> heights{};
+  std::array<double, 5> positions{};
+  std::array<double, 5> desired{};
+  std::array<double, 5> increments{};
+  if (!ReadPod(in, &quantile) || !ReadPod(in, &count)) return false;
+  for (double& h : heights) {
+    if (!ReadPod(in, &h)) return false;
+  }
+  for (double& p : positions) {
+    if (!ReadPod(in, &p)) return false;
+  }
+  for (double& d : desired) {
+    if (!ReadPod(in, &d)) return false;
+  }
+  for (double& d : increments) {
+    if (!ReadPod(in, &d)) return false;
+  }
+  if (!(quantile > 0.0 && quantile < 1.0)) return false;
+  for (double h : heights) {
+    if (!std::isfinite(h)) return false;
+  }
+  quantile_ = quantile;
+  count_ = static_cast<size_t>(count);
+  heights_ = heights;
+  positions_ = positions;
+  desired_ = desired;
+  desired_increments_ = increments;
+  return true;
 }
 
 }  // namespace stage

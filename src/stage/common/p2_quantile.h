@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstddef>
+#include <iosfwd>
 
 namespace stage {
 
@@ -25,6 +26,11 @@ class P2Quantile {
   double Value() const;
 
   size_t count() const { return count_; }
+
+  // Exact-state checkpointing of all five markers, so a restored sketch
+  // produces the same estimates (and the same future updates) bit-for-bit.
+  void Save(std::ostream& out) const;
+  bool Load(std::istream& in);
 
  private:
   double quantile_;

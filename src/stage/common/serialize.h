@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <type_traits>
@@ -39,12 +40,23 @@ void WriteVector(std::ostream& out, const std::vector<T>& values) {
   }
 }
 
+// Bytes left between the current read position and the end of a seekable
+// stream; nullopt when the stream cannot be probed (unseekable or already
+// failed). Used to reject corrupt size fields before allocating.
+std::optional<uint64_t> RemainingBytes(std::istream& in);
+
 template <typename T>
 bool ReadVector(std::istream& in, std::vector<T>* values,
                 uint64_t max_elements = (1ull << 32)) {
   static_assert(std::is_trivially_copyable_v<T>);
   uint64_t size = 0;
   if (!ReadPod(in, &size) || size > max_elements) return false;
+  if (size > 0) {
+    // A corrupt size field must fail here, not via a multi-GB resize that
+    // only errors after the read comes up short.
+    const std::optional<uint64_t> remaining = RemainingBytes(in);
+    if (remaining && size > *remaining / sizeof(T)) return false;
+  }
   values->resize(size);
   if (size > 0) {
     in.read(reinterpret_cast<char*>(values->data()),
@@ -56,6 +68,11 @@ bool ReadVector(std::istream& in, std::vector<T>* values,
 // Writes/checks a 4-byte magic plus a version number.
 void WriteHeader(std::ostream& out, uint32_t magic, uint32_t version);
 bool ReadHeader(std::istream& in, uint32_t magic, uint32_t expected_version);
+
+// Like ReadHeader, but accepts any version and returns it through
+// `version_out`, so callers can keep loading older checkpoint formats.
+bool ReadHeaderVersion(std::istream& in, uint32_t magic,
+                       uint32_t* version_out);
 
 }  // namespace stage
 

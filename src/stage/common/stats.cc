@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "stage/common/macros.h"
+#include "stage/common/serialize.h"
 
 namespace stage {
 
@@ -22,6 +23,26 @@ double Welford::variance() const {
 double Welford::sample_variance() const {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);
+}
+
+void Welford::Save(std::ostream& out) const {
+  WritePod<uint64_t>(out, count_);
+  WritePod(out, mean_);
+  WritePod(out, m2_);
+}
+
+bool Welford::Load(std::istream& in) {
+  uint64_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+  if (!ReadPod(in, &count) || !ReadPod(in, &mean) || !ReadPod(in, &m2)) {
+    return false;
+  }
+  if (!std::isfinite(mean) || !std::isfinite(m2) || m2 < 0.0) return false;
+  count_ = static_cast<size_t>(count);
+  mean_ = mean;
+  m2_ = m2;
+  return true;
 }
 
 double SortedQuantile(const std::vector<double>& sorted, double q) {

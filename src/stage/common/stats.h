@@ -2,6 +2,7 @@
 #define STAGE_COMMON_STATS_H_
 
 #include <cstddef>
+#include <iosfwd>
 #include <vector>
 
 namespace stage {
@@ -27,6 +28,11 @@ class Welford {
 
   // Sample variance (divides by n-1); 0 when fewer than 2 observations.
   double sample_variance() const;
+
+  // Exact-state checkpointing (count, mean, M2), so a restored exec-time
+  // cache entry continues the same running statistics bit-for-bit.
+  void Save(std::ostream& out) const;
+  bool Load(std::istream& in);
 
  private:
   size_t count_ = 0;

@@ -1,6 +1,7 @@
 #include "stage/core/stage_predictor.h"
 
 #include "stage/common/macros.h"
+#include "stage/common/serialize.h"
 
 namespace stage::core {
 
@@ -137,6 +138,36 @@ uint64_t StagePredictor::total_predictions() const {
 
 size_t StagePredictor::LocalMemoryBytes() const {
   return cache_.MemoryBytes() + local_.MemoryBytes();
+}
+
+namespace {
+constexpr uint32_t kPredictorMagic = 0x53505244;  // "SPRD".
+constexpr uint32_t kPredictorVersion = 1;
+}  // namespace
+
+void StagePredictor::Save(std::ostream& out) const {
+  WriteHeader(out, kPredictorMagic, kPredictorVersion);
+  cache_.Save(out);
+  pool_.Save(out);
+  WritePod<uint64_t>(out, observed_since_train_);
+  WritePod<uint8_t>(out, local_.trained() ? 1 : 0);
+  if (local_.trained()) local_.Save(out);
+}
+
+bool StagePredictor::Load(std::istream& in) {
+  if (!ReadHeader(in, kPredictorMagic, kPredictorVersion)) return false;
+  // Each component's Load is itself transactional, but the predictor is
+  // restored component-by-component: on failure, discard the predictor
+  // rather than serving from a partially restored one.
+  if (!cache_.Load(in)) return false;
+  if (!pool_.Load(in)) return false;
+  uint64_t observed_since_train = 0;
+  if (!ReadPod(in, &observed_since_train)) return false;
+  uint8_t has_local = 0;
+  if (!ReadPod(in, &has_local)) return false;
+  if (has_local != 0 && !local_.Load(in)) return false;
+  observed_since_train_ = static_cast<size_t>(observed_since_train);
+  return true;
 }
 
 }  // namespace stage::core

@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <string>
 
@@ -96,6 +97,16 @@ class StagePredictor final : public ExecTimePredictor {
   // Memory footprint of the locally resident components (the paper excludes
   // the global model, which deploys as a shared serverless function).
   size_t LocalMemoryBytes() const;
+
+  // Full-state checkpointing: exec-time cache, training pool, local model
+  // (when trained), and the retrain cadence counter. A predictor restored
+  // from a snapshot continues the replay bit-for-bit — same predictions,
+  // same routing, same future retrains — as one that never stopped.
+  // Attribution counters are telemetry and restart at zero. Load is
+  // transactional per component and returns false on a malformed stream;
+  // the global model is borrowed (StagePredictorOptions), never persisted.
+  void Save(std::ostream& out) const;
+  bool Load(std::istream& in);
 
  private:
   StagePredictorConfig config_;

@@ -76,22 +76,47 @@ LocalModel::Output LocalModel::Predict(
 
 namespace {
 constexpr uint32_t kLocalMagic = 0x534c434c;  // "SLCL".
-constexpr uint32_t kLocalVersion = 1;
+// v1 never serialized the MAE member, so a v1 file of a model trained with
+// include_mae_member=true silently blended a default-constructed GbdtModel
+// into every prediction after load. v2 persists the member (and its blend
+// weight); v1 files remain loadable with the member disabled.
+constexpr uint32_t kLocalVersion = 2;
 }  // namespace
 
 void LocalModel::Save(std::ostream& out) const {
   STAGE_CHECK_MSG(trained_, "cannot save an untrained local model");
   WriteHeader(out, kLocalMagic, kLocalVersion);
   WritePod<uint8_t>(out, config_.log_target ? 1 : 0);
+  WritePod<uint8_t>(out, config_.include_mae_member ? 1 : 0);
+  WritePod(out, config_.mae_member_weight);
   ensemble_.Save(out);
+  if (config_.include_mae_member) mae_member_.Save(out);
 }
 
 bool LocalModel::Load(std::istream& in) {
-  if (!ReadHeader(in, kLocalMagic, kLocalVersion)) return false;
+  uint32_t version = 0;
+  if (!ReadHeaderVersion(in, kLocalMagic, &version)) return false;
+  if (version < 1 || version > kLocalVersion) return false;
   uint8_t log_target = 0;
   if (!ReadPod(in, &log_target)) return false;
-  if (!ensemble_.Load(in)) return false;
+  uint8_t include_mae = 0;
+  double mae_weight = config_.mae_member_weight;
+  if (version >= 2) {
+    if (!ReadPod(in, &include_mae)) return false;
+    if (!ReadPod(in, &mae_weight)) return false;
+    if (!(mae_weight >= 0.0 && mae_weight <= 1.0)) return false;
+  }
+  // Load into locals and commit only on full success: a failed Load must
+  // never leave a half-replaced (yet still trained()) model behind.
+  gbt::BayesianGbtEnsemble ensemble;
+  if (!ensemble.Load(in)) return false;
+  gbt::GbdtModel mae_member;
+  if (include_mae != 0 && !mae_member.Load(in)) return false;
+  ensemble_ = std::move(ensemble);
+  mae_member_ = std::move(mae_member);
   config_.log_target = log_target != 0;
+  config_.include_mae_member = include_mae != 0;
+  config_.mae_member_weight = mae_weight;
   trained_ = true;
   return true;
 }

@@ -1,8 +1,10 @@
 #include "stage/local/training_pool.h"
 
 #include <cmath>
+#include <utility>
 
 #include "stage/common/macros.h"
+#include "stage/common/serialize.h"
 
 namespace stage::local {
 
@@ -62,6 +64,52 @@ size_t TrainingPool::CountAtLeast(double exec_seconds) const {
     }
   }
   return count;
+}
+
+namespace {
+constexpr uint32_t kPoolMagic = 0x53504f4c;  // "SPOL".
+constexpr uint32_t kPoolVersion = 1;
+}  // namespace
+
+void TrainingPool::Save(std::ostream& out) const {
+  WriteHeader(out, kPoolMagic, kPoolVersion);
+  WritePod(out, total_added_);
+  for (const auto& queue : buckets_) {
+    WritePod<uint64_t>(out, queue.size());
+    for (const Example& example : queue) {
+      out.write(reinterpret_cast<const char*>(example.features.data()),
+                sizeof(float) * example.features.size());
+      WritePod(out, example.exec_seconds);
+    }
+  }
+}
+
+bool TrainingPool::Load(std::istream& in) {
+  if (!ReadHeader(in, kPoolMagic, kPoolVersion)) return false;
+  uint64_t total_added = 0;
+  if (!ReadPod(in, &total_added)) return false;
+  constexpr uint64_t kExampleBytes =
+      sizeof(float) * plan::kPlanFeatureDim + sizeof(double);
+  std::array<std::deque<Example>, 3> buckets;
+  for (auto& queue : buckets) {
+    uint64_t count = 0;
+    if (!ReadPod(in, &count)) return false;
+    const std::optional<uint64_t> remaining = RemainingBytes(in);
+    if (remaining && count > *remaining / kExampleBytes) return false;
+    for (uint64_t i = 0; i < count; ++i) {
+      Example example;
+      in.read(reinterpret_cast<char*>(example.features.data()),
+              sizeof(float) * example.features.size());
+      if (!in || !ReadPod(in, &example.exec_seconds)) return false;
+      if (!std::isfinite(example.exec_seconds) || example.exec_seconds < 0.0) {
+        return false;
+      }
+      queue.push_back(std::move(example));
+    }
+  }
+  buckets_ = std::move(buckets);
+  total_added_ = total_added;
+  return true;
 }
 
 gbt::Dataset TrainingPool::BuildDataset(bool log_target) const {

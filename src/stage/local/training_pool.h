@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <vector>
 
 #include "stage/gbt/dataset.h"
@@ -47,6 +48,13 @@ class TrainingPool {
 
   // Total observations ever offered (including later-evicted ones).
   uint64_t total_added() const { return total_added_; }
+
+  // Checkpointing: writes every bucket's examples in arrival order plus
+  // total_added_, so a restored pool builds the identical dataset and
+  // continues the identical oldest-first eviction. Load is transactional —
+  // on a malformed stream it returns false and leaves the pool untouched.
+  void Save(std::ostream& out) const;
+  bool Load(std::istream& in);
 
  private:
   struct Example {

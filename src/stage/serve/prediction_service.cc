@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "stage/common/macros.h"
+#include "stage/common/serialize.h"
 
 namespace stage::serve {
 
@@ -185,6 +186,65 @@ std::shared_ptr<const local::LocalModel>
 PredictionService::local_model_snapshot() const {
   std::lock_guard<std::mutex> lock(model_mutex_);
   return model_;
+}
+
+namespace {
+constexpr uint32_t kServiceMagic = 0x53535256;  // "SSRV".
+constexpr uint32_t kServiceVersion = 1;
+}  // namespace
+
+void PredictionService::SaveCheckpoint(std::ostream& out) const {
+  // Pausing Observe (not Predict) pins one consistent cut: every
+  // observation is either fully in the snapshot (cache AND pool) or fully
+  // after it. An async training may still publish a model mid-snapshot;
+  // the single shared_ptr load below keeps the captured model coherent.
+  std::lock_guard<std::mutex> observe_lock(observe_mutex_);
+  WriteHeader(out, kServiceMagic, kServiceVersion);
+  cache_.Save(out);
+  {
+    std::lock_guard<std::mutex> pool_lock(pool_mutex_);
+    pool_.Save(out);
+    WritePod<uint64_t>(out, observed_since_train_);
+    WritePod<uint8_t>(out, first_train_requested_ ? 1 : 0);
+  }
+  const std::shared_ptr<const local::LocalModel> model =
+      local_model_snapshot();
+  WritePod<uint8_t>(out, model ? 1 : 0);
+  if (model) model->Save(out);
+  WritePod<int32_t>(out, trainings_.load(std::memory_order_relaxed));
+}
+
+bool PredictionService::LoadCheckpoint(std::istream& in) {
+  std::lock_guard<std::mutex> observe_lock(observe_mutex_);
+  if (!ReadHeader(in, kServiceMagic, kServiceVersion)) return false;
+  if (!cache_.Load(in)) return false;
+  {
+    std::lock_guard<std::mutex> pool_lock(pool_mutex_);
+    local::TrainingPool pool(config_.predictor.pool);
+    if (!pool.Load(in)) return false;
+    uint64_t observed_since_train = 0;
+    uint8_t first_train_requested = 0;
+    if (!ReadPod(in, &observed_since_train) ||
+        !ReadPod(in, &first_train_requested)) {
+      return false;
+    }
+    pool_ = std::move(pool);
+    observed_since_train_ = static_cast<size_t>(observed_since_train);
+    first_train_requested_ = first_train_requested != 0;
+  }
+  uint8_t has_model = 0;
+  if (!ReadPod(in, &has_model)) return false;
+  if (has_model != 0) {
+    auto model = std::make_shared<local::LocalModel>(config_.predictor.local);
+    if (!model->Load(in)) return false;
+    PublishModel(std::move(model));
+  } else {
+    PublishModel(nullptr);
+  }
+  int32_t trainings = 0;
+  if (!ReadPod(in, &trainings)) return false;
+  trainings_.store(trainings, std::memory_order_relaxed);
+  return true;
 }
 
 void PredictionService::WaitForRetrain() {

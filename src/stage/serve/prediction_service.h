@@ -5,6 +5,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -81,6 +82,23 @@ class PredictionService final : public core::ExecTimePredictor {
   // point; never needed on the serving path.
   void WaitForRetrain();
 
+  // Snapshots the full predictor state — sharded cache, training pool,
+  // retrain cadence, and the current local-model snapshot — into `out`.
+  // Holds observe_mutex_ (stalling writers, not readers) so the cache and
+  // pool are captured at one consistent Observe boundary; the read path
+  // only ever contends on the one shard currently being serialized.
+  // Typically wrapped in the crash-safe file envelope of stage/ckpt.
+  void SaveCheckpoint(std::ostream& out) const;
+
+  // Restores a SaveCheckpoint stream into this service. The service config
+  // must match the writer's (same cache_shards; shard membership is
+  // key % num_shards). Call before serving starts — Load must not race
+  // Predict/Observe. Returns false on a malformed or mismatched stream;
+  // discard the service in that case. Telemetry (attribution counters,
+  // latency recorder, cache hit/miss counters) deliberately restarts at
+  // zero: counters describe a process lifetime, not predictor state.
+  bool LoadCheckpoint(std::istream& in);
+
   // Attribution counters (same semantics as StagePredictor's).
   uint64_t predictions_from(core::PredictionSource source) const {
     return source_counts_[static_cast<int>(source)].load(
@@ -120,7 +138,8 @@ class PredictionService final : public core::ExecTimePredictor {
   // Write-path state: the pool and retrain bookkeeping, guarded by
   // pool_mutex_ (observe_mutex_ additionally serializes whole Observes so
   // multiple writer sessions keep StagePredictor's sequential semantics).
-  std::mutex observe_mutex_;
+  // Mutable so the const SaveCheckpoint can pause writers while it runs.
+  mutable std::mutex observe_mutex_;
   mutable std::mutex pool_mutex_;
   local::TrainingPool pool_;
   size_t observed_since_train_ = 0;

@@ -1,6 +1,9 @@
 #include "stage/serve/sharded_cache.h"
 
+#include <utility>
+
 #include "stage/common/macros.h"
+#include "stage/common/serialize.h"
 
 namespace stage::serve {
 
@@ -8,12 +11,12 @@ ShardedExecTimeCache::ShardedExecTimeCache(
     const ShardedExecTimeCacheConfig& config) {
   STAGE_CHECK(config.num_shards > 0);
   STAGE_CHECK(config.cache.capacity > 0);
-  cache::ExecTimeCacheConfig shard_config = config.cache;
-  shard_config.capacity = (config.cache.capacity + config.num_shards - 1) /
-                          config.num_shards;
+  shard_config_ = config.cache;
+  shard_config_.capacity = (config.cache.capacity + config.num_shards - 1) /
+                           config.num_shards;
   shards_.reserve(config.num_shards);
   for (size_t i = 0; i < config.num_shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(shard_config));
+    shards_.push_back(std::make_unique<Shard>(shard_config_));
   }
 }
 
@@ -40,6 +43,10 @@ bool ShardedExecTimeCache::Observe(uint64_t key, double exec_time,
 
 size_t ShardedExecTimeCache::shard_capacity() const {
   return shards_.front()->cache.capacity();
+}
+
+size_t ShardedExecTimeCache::total_capacity() const {
+  return shards_.size() * shard_capacity();
 }
 
 uint64_t ShardedExecTimeCache::hits() const {
@@ -70,6 +77,34 @@ size_t ShardedExecTimeCache::size() const {
     total += shard->cache.size();
   }
   return total;
+}
+
+namespace {
+constexpr uint32_t kShardedMagic = 0x53534843;  // "SSHC".
+constexpr uint32_t kShardedVersion = 1;
+}  // namespace
+
+void ShardedExecTimeCache::Save(std::ostream& out) const {
+  WriteHeader(out, kShardedMagic, kShardedVersion);
+  WritePod<uint64_t>(out, shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->cache.Save(out);
+  }
+}
+
+bool ShardedExecTimeCache::Load(std::istream& in) {
+  if (!ReadHeader(in, kShardedMagic, kShardedVersion)) return false;
+  uint64_t num_shards = 0;
+  if (!ReadPod(in, &num_shards) || num_shards != shards_.size()) return false;
+  std::vector<std::unique_ptr<Shard>> staged;
+  staged.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    staged.push_back(std::make_unique<Shard>(shard_config_));
+    if (!staged.back()->cache.Load(in)) return false;
+  }
+  shards_ = std::move(staged);
+  return true;
 }
 
 size_t ShardedExecTimeCache::MemoryBytes() const {

@@ -2,6 +2,7 @@
 #define STAGE_SERVE_SHARDED_CACHE_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -14,6 +15,15 @@ namespace stage::serve {
 struct ShardedExecTimeCacheConfig {
   // Per-entry behaviour of every shard. `cache.capacity` is the TOTAL
   // capacity across shards; each shard gets ceil(capacity / num_shards).
+  //
+  // Divergence from the paper's single 2,000-entry cache (§4.2, §5.1):
+  // ceil-division can over-provision by up to num_shards-1 entries in
+  // aggregate (e.g. 2000 over 3 shards -> 3 x 667 = 2001), and because each
+  // shard evicts independently over its own key subset, a skewed key
+  // distribution can evict from a hot shard while cold shards sit below
+  // capacity — earlier than one global least-recently-updated cache would.
+  // total_capacity() reports the effective aggregate cap so callers can
+  // account for both effects; num_shards == 1 restores the paper exactly.
   cache::ExecTimeCacheConfig cache;
   size_t num_shards = 8;
 };
@@ -44,6 +54,10 @@ class ShardedExecTimeCache {
 
   size_t num_shards() const { return shards_.size(); }
   size_t shard_capacity() const;
+  // Effective aggregate capacity: num_shards * shard_capacity. Can exceed
+  // the configured `cache.capacity` by up to num_shards - 1 entries (see
+  // the config comment on the sharding divergence).
+  size_t total_capacity() const;
 
   // Aggregates over all shards. Counter reads are lock-free; size and
   // memory walk the shards under their locks.
@@ -52,6 +66,15 @@ class ShardedExecTimeCache {
   uint64_t evictions() const;
   size_t size() const;
   size_t MemoryBytes() const;
+
+  // Checkpointing. Save serializes shard-by-shard, holding only one shard
+  // lock at a time, so concurrent lookups on other shards never stall.
+  // Load requires the same shard count (shard membership is key %
+  // num_shards; re-sharding a snapshot would silently reorder evictions),
+  // stages a fresh shard set, and commits only on full success. Load must
+  // not race with readers or writers — restore before serving starts.
+  void Save(std::ostream& out) const;
+  bool Load(std::istream& in);
 
  private:
   struct Shard {
@@ -65,6 +88,7 @@ class ShardedExecTimeCache {
   }
   Shard& ShardFor(uint64_t key) { return *shards_[key % shards_.size()]; }
 
+  cache::ExecTimeCacheConfig shard_config_;  // Per-shard (divided) capacity.
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -340,6 +340,110 @@ TEST(SerializeTest, ReadVectorRejectsHugeSizes) {
   EXPECT_FALSE(ReadVector(buffer, &v));
 }
 
+// Regression: a corrupt size field that passes the max_elements cap but
+// exceeds the actual stream length must fail before resize — the old code
+// attempted a multi-GB allocation and only errored after the short read.
+TEST(SerializeTest, ReadVectorRejectsSizeBeyondStreamLength) {
+  std::stringstream buffer;
+  WritePod<uint64_t>(buffer, 1ull << 28);  // Claims 256M doubles (2 GiB)...
+  WritePod<double>(buffer, 1.0);           // ...but only 8 bytes follow.
+  std::vector<double> v;
+  EXPECT_FALSE(ReadVector(buffer, &v));
+  EXPECT_TRUE(v.empty());  // No resize happened.
+}
+
+TEST(SerializeTest, RemainingBytesProbesSeekableStreams) {
+  std::stringstream buffer("abcdef");
+  const auto remaining = RemainingBytes(buffer);
+  ASSERT_TRUE(remaining.has_value());
+  EXPECT_EQ(*remaining, 6u);
+  char c = 0;
+  buffer.read(&c, 1);
+  EXPECT_EQ(RemainingBytes(buffer).value_or(0), 5u);
+}
+
+TEST(WelfordTest, SaveLoadContinuesBitForBit) {
+  Welford original;
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) original.Add(rng.NextLogNormal(0.0, 1.0));
+
+  std::stringstream buffer;
+  original.Save(buffer);
+  Welford restored;
+  ASSERT_TRUE(restored.Load(buffer));
+  EXPECT_EQ(restored.count(), original.count());
+  EXPECT_DOUBLE_EQ(restored.mean(), original.mean());
+  EXPECT_DOUBLE_EQ(restored.variance(), original.variance());
+
+  // Continued additions stay in lockstep with the never-snapshotted stats.
+  for (int i = 0; i < 50; ++i) {
+    const double value = rng.NextLogNormal(0.0, 1.0);
+    original.Add(value);
+    restored.Add(value);
+    EXPECT_DOUBLE_EQ(restored.mean(), original.mean());
+    EXPECT_DOUBLE_EQ(restored.variance(), original.variance());
+  }
+}
+
+TEST(WelfordTest, LoadRejectsTruncatedOrMalformedState) {
+  Welford original;
+  original.Add(1.0);
+  original.Add(2.0);
+  std::stringstream buffer;
+  original.Save(buffer);
+  const std::string bytes = buffer.str();
+
+  Welford target;
+  std::istringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_FALSE(target.Load(truncated));
+  std::istringstream empty("");
+  EXPECT_FALSE(target.Load(empty));
+}
+
+TEST(P2QuantileTest, SaveLoadContinuesBitForBit) {
+  P2Quantile original(0.5);
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) original.Add(rng.NextLogNormal(0.0, 1.0));
+
+  std::stringstream buffer;
+  original.Save(buffer);
+  P2Quantile restored(0.5);
+  ASSERT_TRUE(restored.Load(buffer));
+  EXPECT_EQ(restored.count(), original.count());
+  EXPECT_DOUBLE_EQ(restored.Value(), original.Value());
+
+  for (int i = 0; i < 100; ++i) {
+    const double value = rng.NextLogNormal(0.0, 1.0);
+    original.Add(value);
+    restored.Add(value);
+    EXPECT_DOUBLE_EQ(restored.Value(), original.Value());
+  }
+}
+
+TEST(P2QuantileTest, SaveLoadRoundTripsSmallSampleState) {
+  // Fewer than 5 observations: the sketch is still in its exact phase.
+  P2Quantile original(0.9);
+  original.Add(3.0);
+  original.Add(1.0);
+  std::stringstream buffer;
+  original.Save(buffer);
+  P2Quantile restored(0.5);  // Quantile comes from the stream, not the ctor.
+  ASSERT_TRUE(restored.Load(buffer));
+  EXPECT_EQ(restored.count(), 2u);
+  EXPECT_DOUBLE_EQ(restored.Value(), original.Value());
+}
+
+TEST(P2QuantileTest, LoadRejectsTruncatedState) {
+  P2Quantile original(0.5);
+  for (int i = 0; i < 20; ++i) original.Add(i);
+  std::stringstream buffer;
+  original.Save(buffer);
+  const std::string bytes = buffer.str();
+  P2Quantile target(0.5);
+  std::istringstream truncated(bytes.substr(0, bytes.size() - 8));
+  EXPECT_FALSE(target.Load(truncated));
+}
+
 TEST(SerializeTest, HeaderMismatchDetected) {
   std::stringstream buffer;
   WriteHeader(buffer, 0x1234, 1);

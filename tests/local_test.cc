@@ -1,5 +1,8 @@
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -250,6 +253,80 @@ TEST(LocalModelTest, SaveLoadRoundTrip) {
   for (int i = 0; i < 20; ++i) {
     const auto features =
         MakeFeatures(static_cast<float>(rng.NextDouble() * 3));
+    const auto a = original.Predict(features);
+    const auto b = restored.Predict(features);
+    EXPECT_DOUBLE_EQ(a.exec_seconds, b.exec_seconds);
+    EXPECT_DOUBLE_EQ(a.total_variance(), b.total_variance());
+  }
+}
+
+// Regression for the v1 checkpoint bug: Save/Load dropped the MAE ensemble
+// member entirely, so a restored model silently predicted without it (or,
+// worse, blended a default-constructed GbdtModel). v2 persists the member;
+// a restored model must predict bit-for-bit like the original. This test
+// fails against the v1 serializer.
+TEST(LocalModelTest, SaveLoadPreservesMaeMember) {
+  Rng rng(29);
+  TrainingPool pool(SmallPool(200));
+  for (int i = 0; i < 200; ++i) {
+    pool.Add(MakeFeatures(static_cast<float>(rng.NextDouble() * 2)),
+             rng.NextLogNormal(0.5, 0.6));
+  }
+  LocalModelConfig config = FastLocalConfig();
+  config.include_mae_member = true;
+  config.mae_member_weight = 0.5;
+  LocalModel original(config);
+  original.Train(pool);
+  ASSERT_TRUE(original.trained());
+
+  std::stringstream buffer;
+  original.Save(buffer);
+  // Restore into a model whose config has the member OFF: the checkpoint
+  // must carry the member (and its blend weight), not the target's config.
+  LocalModel restored(FastLocalConfig());
+  ASSERT_TRUE(restored.Load(buffer));
+  ASSERT_TRUE(restored.trained());
+
+  for (int i = 0; i < 30; ++i) {
+    const auto features =
+        MakeFeatures(static_cast<float>(rng.NextDouble() * 2));
+    const auto a = original.Predict(features);
+    const auto b = restored.Predict(features);
+    EXPECT_DOUBLE_EQ(a.exec_seconds, b.exec_seconds);
+    EXPECT_DOUBLE_EQ(a.total_variance(), b.total_variance());
+  }
+}
+
+// Version-1 local-model checkpoints (no MAE member fields) must remain
+// loadable, with the member disabled. A v1 stream is reconstructed from a
+// v2 no-member save: patch the version word and drop the two v2-only
+// fields (include_mae u8 at offset 9, blend weight f64 at offsets 10-17).
+TEST(LocalModelTest, LoadsVersion1StreamsWithMaeDisabled) {
+  Rng rng(31);
+  TrainingPool pool(SmallPool(200));
+  for (int i = 0; i < 200; ++i) {
+    pool.Add(MakeFeatures(static_cast<float>(rng.NextDouble() * 2)),
+             rng.NextLogNormal(0.3, 0.5));
+  }
+  LocalModel original(FastLocalConfig());  // include_mae_member off.
+  original.Train(pool);
+
+  std::stringstream buffer;
+  original.Save(buffer);
+  std::string v2 = buffer.str();
+  ASSERT_GT(v2.size(), 18u);
+  const uint32_t v1_version = 1;
+  std::memcpy(v2.data() + 4, &v1_version, sizeof(v1_version));
+  const std::string v1 =
+      v2.substr(0, 9) + v2.substr(18);  // Drop include_mae + weight.
+
+  LocalModel restored(FastLocalConfig());
+  std::istringstream in(v1);
+  ASSERT_TRUE(restored.Load(in));
+  ASSERT_TRUE(restored.trained());
+  for (int i = 0; i < 20; ++i) {
+    const auto features =
+        MakeFeatures(static_cast<float>(rng.NextDouble() * 2));
     const auto a = original.Predict(features);
     const auto b = restored.Predict(features);
     EXPECT_DOUBLE_EQ(a.exec_seconds, b.exec_seconds);

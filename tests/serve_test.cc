@@ -94,6 +94,28 @@ TEST(ShardedCacheTest, SplitsCapacityAndAggregatesCounters) {
   EXPECT_GT(sharded.MemoryBytes(), 0u);
 }
 
+// Pins the documented divergence from the paper's single 2,000-entry cache
+// (§4.2/§5.1): per-shard capacity is ceil(capacity / num_shards), so the
+// effective aggregate capacity can exceed the configured one by up to
+// num_shards - 1 entries. total_capacity() must report that honestly.
+TEST(ShardedCacheTest, CeilDivisionOverProvisionsAggregateCapacity) {
+  cache::ExecTimeCacheConfig cache_config;
+  cache_config.capacity = 2000;  // The paper's cache size.
+  ShardedExecTimeCache three({cache_config, 3});
+  EXPECT_EQ(three.shard_capacity(), 667u);  // ceil(2000 / 3).
+  EXPECT_EQ(three.total_capacity(), 2001u);
+  EXPECT_GT(three.total_capacity(), cache_config.capacity);
+
+  // num_shards == 1 restores the paper's configuration exactly.
+  ShardedExecTimeCache one({cache_config, 1});
+  EXPECT_EQ(one.shard_capacity(), 2000u);
+  EXPECT_EQ(one.total_capacity(), 2000u);
+
+  // Even division has no over-provisioning.
+  ShardedExecTimeCache eight({cache_config, 8});
+  EXPECT_EQ(eight.total_capacity(), 2000u);
+}
+
 TEST(ServiceConfigTest, ValidateRejectsNonsense) {
   PredictionServiceConfig config;
   EXPECT_TRUE(config.Validate().empty());

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Full verification gate: Release build + ASan + TSan, ctest on each, plus
+# an explicit run of the checkpoint corruption fault-injection suite under
+# ASan (truncations and bit flips must fail loads cleanly — no crash, no
+# OOM, no half-trained model). Run from anywhere; builds live next to the
+# source tree as build-check-{release,asan,tsan}.
+#
+# Usage: tools/check.sh [--fast]
+#   --fast  Release build + tests only (skip the sanitizer builds).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+build_and_test() {
+  local name="$1" sanitize="$2"
+  local build_dir="${repo_root}/build-check-${name}"
+  echo "=== [${name}] configure (STAGE_SANITIZE='${sanitize}') ==="
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=Release -DSTAGE_SANITIZE="${sanitize}" > /dev/null
+  echo "=== [${name}] build ==="
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "=== [${name}] ctest ==="
+  (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}")
+}
+
+build_and_test release ""
+
+if [[ "${fast}" -eq 0 ]]; then
+  build_and_test asan address
+  echo "=== [asan] checkpoint corruption fault-injection suite ==="
+  "${repo_root}/build-check-asan/tests/ckpt_test" \
+    --gtest_filter='CorruptionSuite*'
+  build_and_test tsan thread
+fi
+
+echo "=== all checks passed ==="

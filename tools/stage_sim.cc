@@ -10,6 +10,12 @@
 //   serve         Drive the concurrent PredictionService: one writer
 //                 replays the trace while N reader threads predict; prints
 //                 attribution, cache stats, and per-source latency/QPS.
+//   snapshot      Replay the first --stop_after events of a trace through
+//                 a PredictionService and publish a crash-safe snapshot
+//                 (CRC-checked, atomic-rename) of the full predictor state.
+//   serve --restore_from=FILE --skip=K resumes a suspended replay from a
+//                 snapshot: the service comes up warm (cache, pool, local
+//                 model) and the writer continues at event K.
 //
 // Examples:
 //   stage_sim trace --instances=2 --queries=500
@@ -17,6 +23,9 @@
 //   stage_sim replay --instances=4 --queries=2000 --global=global.bin
 //   stage_sim wlm --instances=4 --queries=2000 --utilization=0.75
 //   stage_sim serve --queries=2000 --threads=8 --shards=8
+//   stage_sim snapshot --queries=2000 --stop_after=1000 --out=snap.bin
+//   stage_sim serve --queries=2000 --shards=1 --sync
+//       --restore_from=snap.bin --skip=1000
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -25,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "stage/ckpt/checkpoint.h"
 #include "stage/common/flags.h"
 #include "stage/common/stats.h"
 #include "stage/core/autowlm.h"
@@ -45,11 +55,13 @@ namespace {
 const std::vector<std::string> kKnownFlags = {
     "instances", "queries",  "seed",        "csv",  "out",
     "global",    "members",  "rounds",      "help", "utilization",
-    "short_slots", "long_slots", "threads", "shards", "sync"};
+    "short_slots", "long_slots", "threads", "shards", "sync",
+    "stop_after", "restore_from", "skip"};
 
 void PrintUsage() {
   std::printf(
-      "usage: stage_sim <trace|train-global|replay|wlm|serve> [flags]\n"
+      "usage: stage_sim <trace|train-global|replay|wlm|serve|snapshot> "
+      "[flags]\n"
       "  common flags: --instances=N --queries=N --seed=N\n"
       "  trace:        --csv (per-query CSV to stdout)\n"
       "  train-global: --out=FILE (checkpoint path, default global.bin)\n"
@@ -57,7 +69,13 @@ void PrintUsage() {
       "  wlm:          --global=FILE --utilization=U --short_slots=N "
       "--long_slots=N\n"
       "  serve:        --global=FILE --threads=N --shards=N --sync "
-      "(inline retrain)\n");
+      "(inline retrain)\n"
+      "                --restore_from=FILE --skip=K (resume a snapshotted "
+      "replay;\n"
+      "                 --shards must match the snapshotting run)\n"
+      "  snapshot:     --stop_after=K --out=FILE --shards=N (replay K "
+      "events,\n"
+      "                 write a crash-safe full-state snapshot)\n");
 }
 
 fleet::FleetConfig FleetFromFlags(const Flags& flags) {
@@ -282,6 +300,54 @@ int RunWlm(const Flags& flags) {
   return 0;
 }
 
+int RunSnapshot(const Flags& flags) {
+  global::GlobalModel global_model;
+  bool use_global = false;
+  if (!MaybeLoadGlobal(flags, &global_model, &use_global)) return 1;
+
+  fleet::FleetGenerator generator(FleetFromFlags(flags));
+  const fleet::InstanceTrace instance = generator.MakeInstanceTrace(0);
+
+  serve::PredictionServiceConfig config;
+  config.predictor = StageConfigFromFlags(flags);
+  config.cache_shards = static_cast<size_t>(flags.GetInt("shards", 1));
+  // Suspend/resume is a deterministic-replay workflow: retrain inline so
+  // the snapshot captures the exact state after --stop_after events.
+  config.async_retrain = false;
+  serve::PredictionService service(
+      config, {use_global ? &global_model : nullptr, &instance.config});
+
+  size_t stop_after = static_cast<size_t>(
+      flags.GetInt("stop_after", static_cast<int64_t>(instance.trace.size())));
+  if (stop_after > instance.trace.size()) stop_after = instance.trace.size();
+  for (size_t i = 0; i < stop_after; ++i) {
+    const fleet::QueryEvent& event = instance.trace[i];
+    const core::QueryContext context = core::MakeQueryContext(
+        event.plan, event.concurrent_queries,
+        static_cast<uint64_t>(event.arrival_ms));
+    service.Predict(context);
+    service.Observe(context, event.exec_seconds);
+  }
+
+  const std::string path = flags.GetString("out", "stage_snapshot.bin");
+  std::string error;
+  if (!ckpt::SaveServiceSnapshot(service, path, &error)) {
+    std::fprintf(stderr, "error: snapshot failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf(
+      "replayed %zu/%zu events; snapshot published to %s\n"
+      "state: cache %zu entries (%zu shards), pool %zu, trainings %d\n"
+      "resume: stage_sim serve --restore_from=%s --skip=%zu --shards=%zu "
+      "--sync [same --instances/--queries/--seed/--rounds/--members]\n",
+      stop_after, instance.trace.size(), path.c_str(),
+      service.exec_time_cache().size(),
+      service.exec_time_cache().num_shards(), service.pool_size(),
+      service.trainings(), path.c_str(), stop_after,
+      service.exec_time_cache().num_shards());
+  return 0;
+}
+
 int RunServe(const Flags& flags) {
   global::GlobalModel global_model;
   bool use_global = false;
@@ -303,6 +369,24 @@ int RunServe(const Flags& flags) {
   config.async_retrain = !flags.GetBool("sync", false);
   serve::PredictionService service(
       config, {use_global ? &global_model : nullptr, &instance.config});
+
+  // Warm restart: restore a snapshotted replay and continue at --skip.
+  const std::string restore_from = flags.GetString("restore_from", "");
+  size_t skip = static_cast<size_t>(flags.GetInt("skip", 0));
+  if (!restore_from.empty()) {
+    std::string error;
+    if (!ckpt::LoadServiceSnapshot(&service, restore_from, &error)) {
+      std::fprintf(stderr,
+                   "error: restore from %s failed: %s (flags must match the "
+                   "snapshotting run, e.g. --shards)\n",
+                   restore_from.c_str(), error.c_str());
+      return 1;
+    }
+    std::printf("restored %s: cache %zu entries, pool %zu, trainings %d\n",
+                restore_from.c_str(), service.exec_time_cache().size(),
+                service.pool_size(), service.trainings());
+  }
+  if (skip > contexts.size()) skip = contexts.size();
 
   // One writer replays the production flow (predict, execute, observe);
   // N reader threads model concurrent sessions asking for predictions.
@@ -328,7 +412,7 @@ int RunServe(const Flags& flags) {
       reader_predictions.fetch_add(made);
     });
   }
-  for (size_t i = 0; i < contexts.size(); ++i) {
+  for (size_t i = skip; i < contexts.size(); ++i) {
     service.Predict(contexts[i]);
     service.Observe(contexts[i], instance.trace[i].exec_seconds);
   }
@@ -342,7 +426,7 @@ int RunServe(const Flags& flags) {
   std::printf("replayed %zu queries + %llu concurrent reads in %.2fs "
               "(%.0f predictions/s, %d reader threads, %zu cache shards, "
               "%s retrain)\n",
-              contexts.size(),
+              contexts.size() - skip,
               static_cast<unsigned long long>(reader_predictions.load()),
               elapsed,
               metrics::LatencyRecorder::Qps(service.total_predictions(),
@@ -386,6 +470,7 @@ int main(int argc, char** argv) {
   if (command == "replay") return RunReplay(flags);
   if (command == "wlm") return RunWlm(flags);
   if (command == "serve") return RunServe(flags);
+  if (command == "snapshot") return RunSnapshot(flags);
   std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
   PrintUsage();
   return 1;
