@@ -1,0 +1,97 @@
+#include "stage/common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "stage/common/macros.h"
+
+namespace stage {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      // Drain the queue even when stopping: ParallelFor callers may still
+      // be waiting on queued lanes.
+      if (tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    STAGE_CHECK_MSG(!stopping_, "Submit on a stopping ThreadPool");
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  // The caller is one lane; extra lanes beyond n-1 could never claim an
+  // index.
+  const size_t helpers = std::min(num_threads(), n - 1);
+  if (helpers == 0) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Completion is tracked per item, not per helper: a queued helper lane
+  // that never gets scheduled (every worker busy) cannot stall the caller,
+  // because the caller and the lanes that did start claim all n indices
+  // between them. Stragglers find the counter exhausted, never touch `fn`,
+  // and only drop their reference to the shared state.
+  struct ForState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> completed{0};
+    std::mutex mutex;
+    std::condition_variable done;
+  };
+  auto state = std::make_shared<ForState>();
+  const auto* fn_ptr = &fn;  // Only dereferenced while the caller waits.
+  const auto run_lane = [state, fn_ptr, n] {
+    size_t i;
+    while ((i = state->next.fetch_add(1, std::memory_order_relaxed)) < n) {
+      (*fn_ptr)(i);
+      if (state->completed.fetch_add(1) + 1 == n) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->done.notify_all();
+      }
+    }
+  };
+  for (size_t h = 0; h < helpers; ++h) Submit(run_lane);
+  run_lane();
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock, [&] { return state->completed.load() == n; });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace stage

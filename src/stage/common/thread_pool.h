@@ -1,0 +1,59 @@
+#ifndef STAGE_COMMON_THREAD_POOL_H_
+#define STAGE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stage {
+
+// A bounded, reusable worker pool. One process-wide instance (Shared())
+// backs both ensemble training and batch inference, replacing the ad-hoc
+// per-member std::thread spawns that could oversubscribe the machine when
+// several ensembles trained at once.
+//
+// Thread-safety: Submit and ParallelFor may be called concurrently from any
+// thread, including from inside a pool task. Tasks must not throw.
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (0 makes ParallelFor run inline).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues a fire-and-forget task.
+  void Submit(std::function<void()> task);
+
+  // Runs fn(0) .. fn(n-1), returning once every call has finished. Indices
+  // are claimed dynamically from a shared counter. The calling thread
+  // participates in the work, so ParallelFor makes progress (and cannot
+  // deadlock) even when every worker is busy — including when it is called
+  // from inside a pool task with all workers occupied.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  // Process-wide pool, sized to the hardware concurrency (at least 1
+  // worker). Callers that need a specific width (determinism tests, width
+  // sweeps) construct their own pool instead.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace stage
+
+#endif  // STAGE_COMMON_THREAD_POOL_H_

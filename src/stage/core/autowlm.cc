@@ -21,6 +21,8 @@ Prediction AutoWlmPredictor::Predict(const QueryContext& query) const {
     out.source = PredictionSource::kDefault;
     return out;
   }
+  // PredictScalar runs on the model's compiled FlatForest: one branchless
+  // descent per tree over contiguous arrays, no per-call allocation.
   const double raw = model_.PredictScalar(query.features.data());
   out.seconds = config_.log_target
                     ? std::max(0.0, std::expm1(std::clamp(raw, 0.0, 14.0)))

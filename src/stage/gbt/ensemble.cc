@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
 
 #include "stage/common/macros.h"
 #include "stage/common/serialize.h"
@@ -10,13 +9,25 @@
 
 namespace stage::gbt {
 
+namespace {
+
+// Member outputs are (mu, log sigma^2) from the Gaussian-NLL loss.
+constexpr int kMemberOutputs = 2;
+
+double ClampedVariance(double log_variance) {
+  return std::exp(std::clamp(log_variance, -12.0, 12.0));
+}
+
+}  // namespace
+
 BayesianGbtEnsemble BayesianGbtEnsemble::Train(const Dataset& data,
-                                               const EnsembleConfig& config) {
+                                               const EnsembleConfig& config,
+                                               ThreadPool* pool) {
   STAGE_CHECK(config.num_members >= 1);
   BayesianGbtEnsemble ensemble;
   ensemble.members_.resize(config.num_members);
 
-  auto train_member = [&](int k) {
+  auto train_member = [&](size_t k) {
     GbdtConfig member_config = config.member;
     // Distinct seeds give each member its own bagging draws and its own
     // early-stopping split; that independence is what makes the variance of
@@ -27,16 +38,16 @@ BayesianGbtEnsemble BayesianGbtEnsemble::Train(const Dataset& data,
     ensemble.members_[k] = GbdtModel::Train(data, *loss, member_config);
   };
 
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  if (config.parallel_train && config.num_members > 1 && hw > 1) {
-    std::vector<std::thread> workers;
-    workers.reserve(config.num_members);
-    for (int k = 0; k < config.num_members; ++k) {
-      workers.emplace_back(train_member, k);
-    }
-    for (auto& worker : workers) worker.join();
+  if (config.parallel_train && config.num_members > 1) {
+    // Bounded, reusable workers instead of num_members raw std::threads:
+    // several ensembles training at once (background retrains across
+    // instances) share one pool sized to the hardware.
+    ThreadPool& workers = pool != nullptr ? *pool : ThreadPool::Shared();
+    workers.ParallelFor(static_cast<size_t>(config.num_members), train_member);
   } else {
-    for (int k = 0; k < config.num_members; ++k) train_member(k);
+    for (int k = 0; k < config.num_members; ++k) {
+      train_member(static_cast<size_t>(k));
+    }
   }
   return ensemble;
 }
@@ -50,10 +61,12 @@ BayesianGbtEnsemble::Prediction BayesianGbtEnsemble::Predict(
   double sum_mu = 0.0;
   double sum_mu_sq = 0.0;
   double sum_var = 0.0;
+  double pred[kMemberOutputs];
   for (const GbdtModel& member : members_) {
-    const std::vector<double> pred = member.Predict(row);
+    STAGE_DCHECK(member.num_outputs() == kMemberOutputs);
+    member.PredictInto(row, pred);
     const double mu = pred[0];
-    const double sigma_sq = std::exp(std::clamp(pred[1], -12.0, 12.0));
+    const double sigma_sq = ClampedVariance(pred[1]);
     sum_mu += mu;
     sum_mu_sq += mu * mu;
     sum_var += sigma_sq;
@@ -64,6 +77,41 @@ BayesianGbtEnsemble::Prediction BayesianGbtEnsemble::Predict(
   return out;
 }
 
+void BayesianGbtEnsemble::PredictBatch(const float* rows, size_t num_rows,
+                                       size_t row_stride,
+                                       std::span<Prediction> out,
+                                       ThreadPool* pool) const {
+  STAGE_CHECK(!members_.empty());
+  STAGE_DCHECK(out.size() == num_rows);
+  if (num_rows == 0) return;
+  const double k = static_cast<double>(members_.size());
+
+  // Accumulate the member moments in the output slots (mean holds the mu
+  // sum, model_variance the mu^2 sum, data_variance the sigma^2 sum) and
+  // finalize once. Members are visited in order, so every per-row
+  // accumulation happens in exactly Predict's order.
+  for (size_t r = 0; r < num_rows; ++r) out[r] = Prediction{};
+  std::vector<double> scratch(num_rows * kMemberOutputs);
+  for (const GbdtModel& member : members_) {
+    STAGE_DCHECK(member.num_outputs() == kMemberOutputs);
+    member.PredictBatch(rows, num_rows, row_stride, scratch, pool);
+    for (size_t r = 0; r < num_rows; ++r) {
+      const double mu = scratch[r * kMemberOutputs];
+      const double sigma_sq = ClampedVariance(scratch[r * kMemberOutputs + 1]);
+      out[r].mean += mu;
+      out[r].model_variance += mu * mu;
+      out[r].data_variance += sigma_sq;
+    }
+  }
+  for (size_t r = 0; r < num_rows; ++r) {
+    const double mean = out[r].mean / k;
+    out[r].mean = mean;
+    out[r].model_variance =
+        std::max(0.0, out[r].model_variance / k - mean * mean);
+    out[r].data_variance /= k;
+  }
+}
+
 size_t BayesianGbtEnsemble::MemoryBytes() const {
   size_t bytes = 0;
   for (const GbdtModel& member : members_) bytes += member.MemoryBytes();
@@ -72,11 +120,18 @@ size_t BayesianGbtEnsemble::MemoryBytes() const {
 
 std::vector<double> BayesianGbtEnsemble::FeatureImportance() const {
   STAGE_CHECK(!members_.empty());
-  std::vector<double> importance(members_[0].num_features(), 0.0);
+  const size_t num_features =
+      static_cast<size_t>(members_[0].num_features());
+  std::vector<double> importance(num_features, 0.0);
+  // One reused counts buffer instead of a temporary vector per member; the
+  // result is the same mean of per-member normalized importances.
+  std::vector<double> member_counts(num_features);
   for (const GbdtModel& member : members_) {
-    const std::vector<double> member_importance = member.FeatureImportance();
-    for (size_t f = 0; f < importance.size(); ++f) {
-      importance[f] += member_importance[f];
+    std::fill(member_counts.begin(), member_counts.end(), 0.0);
+    const double total = member.AddSplitCounts(member_counts);
+    if (total <= 0.0) continue;
+    for (size_t f = 0; f < num_features; ++f) {
+      importance[f] += member_counts[f] / total;
     }
   }
   for (double& v : importance) v /= static_cast<double>(members_.size());

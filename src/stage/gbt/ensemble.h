@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <istream>
 #include <ostream>
+#include <span>
 #include <vector>
 
+#include "stage/common/thread_pool.h"
 #include "stage/gbt/dataset.h"
 #include "stage/gbt/gbdt.h"
 
@@ -34,11 +36,26 @@ class BayesianGbtEnsemble {
   BayesianGbtEnsemble() = default;
 
   // Trains K members with distinct seeds (distinct bagging and distinct
-  // validation splits provide the ensemble diversity).
+  // validation splits provide the ensemble diversity). When parallel_train
+  // is set, members train on `pool` (the shared process pool when null) —
+  // a bounded worker set instead of one raw thread per member. Each member
+  // is seeded independently and written to its own slot, so the trained
+  // bytes are identical for every pool width, including serial.
   static BayesianGbtEnsemble Train(const Dataset& data,
-                                   const EnsembleConfig& config);
+                                   const EnsembleConfig& config,
+                                   ThreadPool* pool = nullptr);
 
+  // Single-row ensemble prediction. Allocation-free: members predict into
+  // stack storage via the compiled FlatForest path.
   Prediction Predict(const float* row) const;
+
+  // Batched ensemble prediction over row-major rows (`row_stride` floats
+  // apart). Members run their blocked FlatForest batch kernel over the
+  // whole matrix (on `pool` when non-null), then the per-row moments are
+  // combined exactly like Predict — results are bit-for-bit identical to
+  // calling Predict per row.
+  void PredictBatch(const float* rows, size_t num_rows, size_t row_stride,
+                    std::span<Prediction> out, ThreadPool* pool = nullptr) const;
 
   int num_members() const { return static_cast<int>(members_.size()); }
   const std::vector<GbdtModel>& members() const { return members_; }

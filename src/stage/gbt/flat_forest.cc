@@ -1,0 +1,176 @@
+#include "stage/gbt/flat_forest.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "stage/common/macros.h"
+
+namespace stage::gbt {
+
+namespace {
+// Rows per batch block: small enough that a block's outputs stay in L1
+// while the tree arrays stream through, large enough to amortize each
+// tree's root-to-leaf cold start across many rows.
+constexpr size_t kRowBlock = 64;
+}  // namespace
+
+FlatForest FlatForest::Compile(
+    const std::vector<double>& base_scores,
+    const std::vector<std::vector<RegressionTree>>& trees) {
+  FlatForest flat;
+  flat.num_outputs_ = static_cast<int>(base_scores.size());
+  flat.base_scores_ = base_scores;
+
+  size_t total_nodes = 0;
+  size_t total_trees = 0;
+  for (const auto& round : trees) {
+    for (const RegressionTree& tree : round) {
+      total_nodes += tree.nodes().size();
+      ++total_trees;
+    }
+  }
+  flat.roots_.reserve(total_trees);
+  flat.nodes_.reserve(total_nodes);
+  flat.value_.reserve(total_nodes);
+  for (const auto& round : trees) {
+    for (const RegressionTree& tree : round) flat.AppendTree(tree);
+  }
+  return flat;
+}
+
+void FlatForest::AppendTree(const RegressionTree& tree) {
+  const std::vector<RegressionTree::Node>& nodes = tree.nodes();
+  STAGE_CHECK(!nodes.empty());
+  const int32_t root = static_cast<int32_t>(nodes_.size());
+  roots_.push_back(root);
+
+  // Breadth-first re-layout with both children of a split emitted
+  // adjacently, so only the left index is stored (right == left + 1) and
+  // the top levels of the tree share cache lines.
+  const auto emit_slot = [this] {
+    nodes_.push_back(Node{-1, 0.0f, -1});
+    value_.push_back(0.0);
+  };
+  emit_slot();  // Root slot.
+  std::vector<std::pair<int32_t, int32_t>> pending;  // (old index, new index)
+  pending.reserve(nodes.size());
+  pending.emplace_back(0, root);
+  for (size_t q = 0; q < pending.size(); ++q) {
+    const auto [old_idx, new_idx] = pending[q];
+    const RegressionTree::Node& node = nodes[old_idx];
+    if (node.is_leaf()) {
+      value_[new_idx] = node.value;
+      continue;
+    }
+    const int32_t new_left = static_cast<int32_t>(nodes_.size());
+    emit_slot();
+    emit_slot();
+    nodes_[new_idx] = Node{node.feature, node.threshold, new_left};
+    pending.emplace_back(node.left, new_left);
+    pending.emplace_back(node.right, new_left + 1);
+  }
+}
+
+void FlatForest::PredictInto(const float* row, std::span<double> out) const {
+  STAGE_DCHECK(out.size() == static_cast<size_t>(num_outputs_));
+  for (int p = 0; p < num_outputs_; ++p) out[p] = base_scores_[p];
+  const size_t n = roots_.size();
+  int p = 0;
+  size_t t = 0;
+  // Trees descend in lockstep lanes; their leaf values are then added in
+  // plain tree order, so the accumulation (and hence every result bit)
+  // matches the serial walk.
+  constexpr int kLanes = 8;
+  for (; t + kLanes <= n; t += kLanes) {
+    int32_t idx[kLanes];
+    for (int k = 0; k < kLanes; ++k) idx[k] = roots_[t + k];
+    DescendLanes<kLanes>(row, idx);
+    for (int k = 0; k < kLanes; ++k) {
+      out[p] += value_[idx[k]];
+      if (++p == num_outputs_) p = 0;
+    }
+  }
+  for (; t < n; ++t) {
+    out[p] += value_[Descend(roots_[t], row)];
+    if (++p == num_outputs_) p = 0;
+  }
+}
+
+double FlatForest::PredictScalar(const float* row) const {
+  STAGE_DCHECK(num_outputs_ >= 1);
+  const size_t stride = static_cast<size_t>(num_outputs_);
+  const size_t n = roots_.size();
+  double out = base_scores_[0];
+  size_t t = 0;
+  constexpr int kLanes = 8;
+  for (; t + (kLanes - 1) * stride < n; t += kLanes * stride) {
+    int32_t idx[kLanes];
+    for (int k = 0; k < kLanes; ++k) {
+      idx[k] = roots_[t + static_cast<size_t>(k) * stride];
+    }
+    DescendLanes<kLanes>(row, idx);
+    // One addition per statement: the order must match the serial walk.
+    for (int k = 0; k < kLanes; ++k) out += value_[idx[k]];
+  }
+  for (; t < n; t += stride) {
+    out += value_[Descend(roots_[t], row)];
+  }
+  return out;
+}
+
+void FlatForest::PredictBatch(const float* rows, size_t num_rows,
+                              size_t row_stride, std::span<double> out,
+                              ThreadPool* pool) const {
+  STAGE_DCHECK(out.size() == num_rows * static_cast<size_t>(num_outputs_));
+  if (num_rows == 0 || num_outputs_ == 0) return;
+
+  const auto run_block = [&](size_t block) {
+    const size_t begin = block * kRowBlock;
+    const size_t end = std::min(num_rows, begin + kRowBlock);
+    for (size_t r = begin; r < end; ++r) {
+      for (int p = 0; p < num_outputs_; ++p) {
+        out[r * num_outputs_ + p] = base_scores_[p];
+      }
+    }
+    // Trees outer, rows inner: each tree's nodes are touched once per
+    // block, not once per row. Rows descend four abreast — independent
+    // lanes over the same tree — to overlap the per-level load latency.
+    int p = 0;
+    for (const int32_t root : roots_) {
+      size_t r = begin;
+      for (; r + 4 <= end; r += 4) {
+        int32_t i0 = root;
+        int32_t i1 = root;
+        int32_t i2 = root;
+        int32_t i3 = root;
+        Descend4(rows + r * row_stride, rows + (r + 1) * row_stride,
+                 rows + (r + 2) * row_stride, rows + (r + 3) * row_stride,
+                 i0, i1, i2, i3);
+        out[r * num_outputs_ + p] += value_[i0];
+        out[(r + 1) * num_outputs_ + p] += value_[i1];
+        out[(r + 2) * num_outputs_ + p] += value_[i2];
+        out[(r + 3) * num_outputs_ + p] += value_[i3];
+      }
+      for (; r < end; ++r) {
+        out[r * num_outputs_ + p] +=
+            value_[Descend(root, rows + r * row_stride)];
+      }
+      if (++p == num_outputs_) p = 0;
+    }
+  };
+
+  const size_t num_blocks = (num_rows + kRowBlock - 1) / kRowBlock;
+  if (pool != nullptr && num_blocks > 1) {
+    pool->ParallelFor(num_blocks, run_block);
+  } else {
+    for (size_t block = 0; block < num_blocks; ++block) run_block(block);
+  }
+}
+
+size_t FlatForest::MemoryBytes() const {
+  return base_scores_.size() * sizeof(double) +
+         roots_.size() * sizeof(int32_t) + nodes_.size() * sizeof(Node) +
+         value_.size() * sizeof(double);
+}
+
+}  // namespace stage::gbt

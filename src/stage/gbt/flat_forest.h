@@ -1,0 +1,169 @@
+#ifndef STAGE_GBT_FLAT_FOREST_H_
+#define STAGE_GBT_FLAT_FOREST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stage/common/thread_pool.h"
+#include "stage/gbt/tree.h"
+
+namespace stage::gbt {
+
+// Inference-only compiled form of a trained GBT model: every tree of every
+// round flattened into four contiguous SoA arrays (feature / threshold /
+// child index / leaf value). Compiled once from the node-vector
+// representation after training or loading; the node vectors remain the
+// canonical training and Save/Load format.
+//
+// Why it is faster than walking RegressionTree nodes:
+//  * no per-call heap allocation (PredictInto writes caller storage);
+//  * one flat buffer instead of one heap allocation per tree behind two
+//    levels of vector indirection, so consecutive trees prefetch;
+//  * nodes are re-laid out so a split's children are adjacent
+//    (right == left + 1), and the three fields a descent step reads are
+//    packed into one 12-byte record — one cache-line touch per node,
+//    branchless step. Leaf values stay in a separate array, read once
+//    per tree.
+// Predictions are bit-for-bit identical to RegressionTree::Predict: same
+// thresholds, same leaf values, same `x <= t` comparison (including the
+// NaN-goes-right convention).
+class FlatForest {
+ public:
+  FlatForest() = default;
+
+  // Compiles trees[round][output] plus per-output base scores. Tree t
+  // contributes to output t % num_outputs, matching GbdtModel's
+  // round-major, output-interleaved accumulation order.
+  static FlatForest Compile(
+      const std::vector<double>& base_scores,
+      const std::vector<std::vector<RegressionTree>>& trees);
+
+  int num_outputs() const { return num_outputs_; }
+  size_t num_trees() const { return roots_.size(); }
+  size_t num_nodes() const { return nodes_.size(); }
+  bool empty() const { return num_outputs_ == 0; }
+
+  // Allocation-free single-row predict; out.size() must equal
+  // num_outputs().
+  void PredictInto(const float* row, std::span<double> out) const;
+
+  // Output 0 only, walking only that output's trees.
+  double PredictScalar(const float* row) const;
+
+  // Blocked multi-row predict: rows are row-major with `row_stride` floats
+  // per row; `out` is row-major [num_rows x num_outputs()]. Rows are
+  // processed in cache-sized blocks with trees as the outer loop inside
+  // each block, so the node arrays stream once per block instead of once
+  // per row. When `pool` is non-null, blocks run on it in parallel
+  // (per-row results are independent, so the output is identical either
+  // way).
+  void PredictBatch(const float* rows, size_t num_rows, size_t row_stride,
+                    std::span<double> out, ThreadPool* pool = nullptr) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  // The hot per-node state: everything one descent step reads, in 12
+  // bytes. feature is -1 for leaves; left is the absolute index of the
+  // left child and the right child is left + 1.
+  struct Node {
+    int32_t feature;
+    float threshold;
+    int32_t left;
+  };
+  static_assert(sizeof(Node) == 12, "descent state must stay 12 bytes");
+
+  void AppendTree(const RegressionTree& tree);
+
+  // Leaf index reached by `row` in the tree rooted at `root`.
+  inline int32_t Descend(int32_t root, const float* row) const {
+    const Node* nodes = nodes_.data();
+    int32_t idx = root;
+    int32_t feature = nodes[idx].feature;
+    while (feature >= 0) {
+      // `!(x <= t)` rather than `x > t` so NaN takes the right child,
+      // exactly like RegressionTree::Predict's `x <= t ? left : right`.
+      idx = nodes[idx].left +
+            static_cast<int32_t>(!(row[feature] <= nodes[idx].threshold));
+      feature = nodes[idx].feature;
+    }
+    return idx;
+  }
+
+  // kLanes independent tree descents over one row in lockstep. Each lane
+  // takes exactly the steps Descend would (same leaves, same bits); the
+  // point is throughput: a lone descent is a chain of dependent loads, so
+  // it pays the full cache latency per level, while several trees in
+  // flight let the out-of-order core overlap those misses. idx[] holds
+  // the roots on entry and the leaves on return.
+  template <int kLanes>
+  inline void DescendLanes(const float* row, int32_t* idx) const {
+    const Node* nodes = nodes_.data();
+    for (;;) {
+      int32_t features[kLanes];
+      int32_t all = -1;
+      for (int k = 0; k < kLanes; ++k) {
+        features[k] = nodes[idx[k]].feature;
+        all &= features[k];
+      }
+      // The sign bit survives the AND only if every lane sits on a leaf.
+      if (all < 0) return;
+      for (int k = 0; k < kLanes; ++k) {
+        if (features[k] >= 0) {
+          idx[k] = nodes[idx[k]].left +
+                   static_cast<int32_t>(
+                       !(row[features[k]] <= nodes[idx[k]].threshold));
+        }
+      }
+    }
+  }
+
+  // Four independent descents in lockstep (four trees over one row, or one
+  // tree over four rows). A single descent is a chain of dependent loads
+  // (each step's node address comes from the previous load), so a serial
+  // walk pays the full cache latency per level; four lanes in flight let
+  // the out-of-order core overlap those misses. Each lane takes exactly
+  // the steps Descend would, so the reached leaves are identical.
+  // i0..i3 hold the roots on entry and the leaves on return.
+  inline void Descend4(const float* row0, const float* row1,
+                       const float* row2, const float* row3, int32_t& i0,
+                       int32_t& i1, int32_t& i2, int32_t& i3) const {
+    const Node* nodes = nodes_.data();
+    for (;;) {
+      const int32_t f0 = nodes[i0].feature;
+      const int32_t f1 = nodes[i1].feature;
+      const int32_t f2 = nodes[i2].feature;
+      const int32_t f3 = nodes[i3].feature;
+      // All four sign bits set means every lane sits on a leaf.
+      if ((f0 & f1 & f2 & f3) < 0) return;
+      if (f0 >= 0) {
+        i0 = nodes[i0].left +
+             static_cast<int32_t>(!(row0[f0] <= nodes[i0].threshold));
+      }
+      if (f1 >= 0) {
+        i1 = nodes[i1].left +
+             static_cast<int32_t>(!(row1[f1] <= nodes[i1].threshold));
+      }
+      if (f2 >= 0) {
+        i2 = nodes[i2].left +
+             static_cast<int32_t>(!(row2[f2] <= nodes[i2].threshold));
+      }
+      if (f3 >= 0) {
+        i3 = nodes[i3].left +
+             static_cast<int32_t>(!(row3[f3] <= nodes[i3].threshold));
+      }
+    }
+  }
+
+  int num_outputs_ = 0;
+  std::vector<double> base_scores_;
+  std::vector<int32_t> roots_;  // One entry per tree, round-major.
+  std::vector<Node> nodes_;
+  std::vector<double> value_;  // Leaf values (0 for internal nodes).
+};
+
+}  // namespace stage::gbt
+
+#endif  // STAGE_GBT_FLAT_FOREST_H_

@@ -24,6 +24,17 @@ struct SplitCandidate {
 
 // One tree-fitting pass over a sampled row set. Rows are partitioned in
 // place within `order` as nodes split.
+//
+// Histogram strategy (the LightGBM trick): per-node (feature, bin)
+// gradient histograms live in an arena of reusable buffers — acquired when
+// a node may still split, released when it becomes a leaf — and only the
+// smaller child of a split is built with a row pass; the larger child's
+// histogram is derived in place by subtracting the smaller child from the
+// parent's buffer. Bin counts are integers, so subtraction keeps every
+// min_samples_leaf decision exact; the summed gradients are derived in a
+// different floating-point order than a direct build, which can move a
+// gain by ~1 ulp (the kMinGain slack already absorbs ties). The arena is
+// owned by the fitter and reused across every node of every tree it fits.
 class TreeFitter {
  public:
   TreeFitter(const Dataset& data, const FeatureQuantizer& quantizer,
@@ -51,23 +62,29 @@ class TreeFitter {
       size_t begin, end;
       int depth;
       double gsum, hsum;
+      int hist;  // Arena buffer id, -1 when the node is a guaranteed leaf.
     };
+    int root_hist = -1;
+    if (MaySplit(order.size(), 1)) {
+      root_hist = AcquireHistogram(features);
+      BuildHistogram(root_hist, order, 0, order.size(), grad, hess, features);
+    }
     std::vector<Work> stack = {
-        {root, 0, order.size(), 1, g_total, h_total}};
+        {root, 0, order.size(), 1, g_total, h_total, root_hist}};
 
     while (!stack.empty()) {
       const Work work = stack.back();
       stack.pop_back();
-      const size_t count = work.end - work.begin;
 
       SplitCandidate best;
-      if (work.depth <= config_.max_depth &&
-          count >= 2 * static_cast<size_t>(config_.min_samples_leaf)) {
-        best = FindBestSplit(order, work.begin, work.end, grad, hess,
-                             features, work.gsum, work.hsum);
+      if (work.hist >= 0) {
+        STAGE_DCHECK(MaySplit(work.end - work.begin, work.depth));
+        best = FindBestSplit(work.hist, work.end - work.begin, features,
+                             work.gsum, work.hsum);
       }
       if (!best.valid()) {
         MakeLeaf(&tree, work.node, work.gsum, work.hsum);
+        if (work.hist >= 0) ReleaseHistogram(work.hist);
         continue;
       }
 
@@ -86,34 +103,97 @@ class TreeFitter {
       }
       STAGE_DCHECK(mid > work.begin && mid < work.end);
 
+      // Child histograms: build the smaller child with a row pass, derive
+      // the larger one by subtracting it from the parent's buffer (which
+      // the larger child then owns). Children that can never split skip
+      // their histogram entirely.
+      const size_t left_count = mid - work.begin;
+      const size_t right_count = work.end - mid;
+      const int child_depth = work.depth + 1;
+      const bool left_smaller = left_count <= right_count;
+      const bool need_left = MaySplit(left_count, child_depth);
+      const bool need_right = MaySplit(right_count, child_depth);
+      const bool need_smaller = left_smaller ? need_left : need_right;
+      const bool need_larger = left_smaller ? need_right : need_left;
+      int smaller_hist = -1;
+      int larger_hist = -1;
+      if (need_smaller || need_larger) {
+        smaller_hist = AcquireHistogram(features);
+        BuildHistogram(smaller_hist, order, left_smaller ? work.begin : mid,
+                       left_smaller ? mid : work.end, grad, hess, features);
+      }
+      if (need_larger) {
+        SubtractHistogram(work.hist, smaller_hist, features);
+        larger_hist = work.hist;
+      } else {
+        ReleaseHistogram(work.hist);
+      }
+      if (!need_smaller && smaller_hist >= 0) {
+        ReleaseHistogram(smaller_hist);
+        smaller_hist = -1;
+      }
+      const int left_hist = left_smaller ? smaller_hist : larger_hist;
+      const int right_hist = left_smaller ? larger_hist : smaller_hist;
+
       const float threshold = quantizer_.UpperBoundary(best.feature, best.bin);
       const auto [left, right] =
           tree.SplitLeaf(work.node, best.feature, threshold);
-      stack.push_back({right, mid, work.end, work.depth + 1,
-                       work.gsum - g_left, work.hsum - h_left});
-      stack.push_back({left, work.begin, mid, work.depth + 1, g_left, h_left});
+      stack.push_back({right, mid, work.end, child_depth,
+                       work.gsum - g_left, work.hsum - h_left, right_hist});
+      stack.push_back({left, work.begin, mid, child_depth, g_left, h_left,
+                       left_hist});
     }
+    STAGE_DCHECK(free_hists_.size() == hists_.size());
     return tree;
   }
 
  private:
-  void MakeLeaf(RegressionTree* tree, int32_t node, double gsum, double hsum) {
-    double value = -gsum / (hsum + config_.lambda);
-    value = std::clamp(value, -config_.max_leaf_delta, config_.max_leaf_delta);
-    // Store the learning-rate-scaled step so Predict needs no extra state.
-    tree->SetLeafValue(node, value * config_.learning_rate);
+  static constexpr int kBins = 256;
+
+  struct Histogram {
+    std::vector<double> g;
+    std::vector<double> h;
+    std::vector<int32_t> c;
+  };
+
+  bool MaySplit(size_t count, int depth) const {
+    return depth <= config_.max_depth &&
+           count >= 2 * static_cast<size_t>(config_.min_samples_leaf);
   }
 
-  SplitCandidate FindBestSplit(const std::vector<size_t>& order, size_t begin,
-                               size_t end, const std::vector<double>& grad,
-                               const std::vector<double>& hess,
-                               const std::vector<int>& features, double gsum,
-                               double hsum) {
-    // Accumulate per-(feature, bin) gradient histograms in one row pass.
-    const int kBins = 256;
-    hist_g_.assign(static_cast<size_t>(d_) * kBins, 0.0);
-    hist_h_.assign(static_cast<size_t>(d_) * kBins, 0.0);
-    hist_c_.assign(static_cast<size_t>(d_) * kBins, 0);
+  // Returns a buffer with the sampled features' bin rows zeroed. Buffers
+  // come from a free list, so steady-state fitting allocates nothing.
+  int AcquireHistogram(const std::vector<int>& features) {
+    int id;
+    if (free_hists_.empty()) {
+      id = static_cast<int>(hists_.size());
+      hists_.emplace_back();
+      const size_t slots = static_cast<size_t>(d_) * kBins;
+      hists_[id].g.assign(slots, 0.0);
+      hists_[id].h.assign(slots, 0.0);
+      hists_[id].c.assign(slots, 0);
+      return id;
+    }
+    id = free_hists_.back();
+    free_hists_.pop_back();
+    Histogram& hist = hists_[id];
+    for (int f : features) {
+      const size_t base = static_cast<size_t>(f) * kBins;
+      const size_t bins = static_cast<size_t>(quantizer_.NumBins(f));
+      std::fill_n(hist.g.begin() + base, bins, 0.0);
+      std::fill_n(hist.h.begin() + base, bins, 0.0);
+      std::fill_n(hist.c.begin() + base, bins, 0);
+    }
+    return id;
+  }
+
+  void ReleaseHistogram(int id) { free_hists_.push_back(id); }
+
+  void BuildHistogram(int id, const std::vector<size_t>& order, size_t begin,
+                      size_t end, const std::vector<double>& grad,
+                      const std::vector<double>& hess,
+                      const std::vector<int>& features) {
+    Histogram& hist = hists_[id];
     for (size_t i = begin; i < end; ++i) {
       const size_t row = order[i];
       const uint8_t* bins = &binned_[row * d_];
@@ -121,13 +201,40 @@ class TreeFitter {
       const double h = hess[row];
       for (int f : features) {
         const size_t slot = static_cast<size_t>(f) * kBins + bins[f];
-        hist_g_[slot] += g;
-        hist_h_[slot] += h;
-        ++hist_c_[slot];
+        hist.g[slot] += g;
+        hist.h[slot] += h;
+        ++hist.c[slot];
       }
     }
+  }
 
-    const size_t count = end - begin;
+  // parent -= child over the sampled features; the parent buffer then
+  // holds the sibling's histogram.
+  void SubtractHistogram(int parent, int child, const std::vector<int>& features) {
+    Histogram& into = hists_[parent];
+    const Histogram& sub = hists_[child];
+    for (int f : features) {
+      const size_t base = static_cast<size_t>(f) * kBins;
+      const size_t bins = static_cast<size_t>(quantizer_.NumBins(f));
+      for (size_t b = base; b < base + bins; ++b) {
+        into.g[b] -= sub.g[b];
+        into.h[b] -= sub.h[b];
+        into.c[b] -= sub.c[b];
+      }
+    }
+  }
+
+  void MakeLeaf(RegressionTree* tree, int32_t node, double gsum, double hsum) {
+    double value = -gsum / (hsum + config_.lambda);
+    value = std::clamp(value, -config_.max_leaf_delta, config_.max_leaf_delta);
+    // Store the learning-rate-scaled step so Predict needs no extra state.
+    tree->SetLeafValue(node, value * config_.learning_rate);
+  }
+
+  SplitCandidate FindBestSplit(int hist_id, size_t count,
+                               const std::vector<int>& features, double gsum,
+                               double hsum) {
+    const Histogram& hist = hists_[hist_id];
     const double parent_score = gsum * gsum / (hsum + config_.lambda);
     SplitCandidate best;
     for (int f : features) {
@@ -138,9 +245,9 @@ class TreeFitter {
       // The last bin has no upper boundary, so stop one short.
       for (int b = 0; b + 1 < num_bins; ++b) {
         const size_t slot = static_cast<size_t>(f) * kBins + b;
-        g_left += hist_g_[slot];
-        h_left += hist_h_[slot];
-        c_left += hist_c_[slot];
+        g_left += hist.g[slot];
+        h_left += hist.h[slot];
+        c_left += static_cast<size_t>(hist.c[slot]);
         if (c_left < static_cast<size_t>(config_.min_samples_leaf)) continue;
         const size_t c_right = count - c_left;
         if (c_right < static_cast<size_t>(config_.min_samples_leaf)) break;
@@ -168,9 +275,9 @@ class TreeFitter {
   const std::vector<uint8_t>& binned_;
   const GbdtConfig& config_;
   const int d_;
-  std::vector<double> hist_g_;
-  std::vector<double> hist_h_;
-  std::vector<int> hist_c_;
+  // Histogram arena + free list; see the class comment.
+  std::vector<Histogram> hists_;
+  std::vector<int> free_hists_;
 };
 
 }  // namespace
@@ -186,7 +293,10 @@ GbdtModel GbdtModel::Train(const Dataset& data, const Loss& loss,
   model.num_features_ = data.num_features();
   model.num_outputs_ = loss.num_outputs();
   model.base_scores_ = loss.InitScores(data.labels());
-  if (data.empty() || config.num_rounds == 0) return model;
+  if (data.empty() || config.num_rounds == 0) {
+    model.flat_ = FlatForest::Compile(model.base_scores_, model.trees_);
+    return model;
+  }
 
   const size_t n = data.num_rows();
   const int num_outputs = loss.num_outputs();
@@ -293,39 +403,50 @@ GbdtModel GbdtModel::Train(const Dataset& data, const Loss& loss,
   if (use_early_stopping && best_round >= 0) {
     model.trees_.resize(static_cast<size_t>(best_round) + 1);
   }
+  model.flat_ = FlatForest::Compile(model.base_scores_, model.trees_);
   return model;
 }
 
 std::vector<double> GbdtModel::Predict(const float* row) const {
-  std::vector<double> out = base_scores_;
-  for (const auto& round : trees_) {
-    for (int p = 0; p < num_outputs_; ++p) {
-      out[p] += round[p].Predict(row);
-    }
-  }
+  std::vector<double> out(static_cast<size_t>(num_outputs_));
+  flat_.PredictInto(row, out);
   return out;
+}
+
+void GbdtModel::PredictInto(const float* row, std::span<double> out) const {
+  flat_.PredictInto(row, out);
 }
 
 double GbdtModel::PredictScalar(const float* row) const {
   STAGE_DCHECK(num_outputs_ >= 1);
-  double out = base_scores_[0];
-  for (const auto& round : trees_) out += round[0].Predict(row);
-  return out;
+  return flat_.PredictScalar(row);
 }
 
-std::vector<double> GbdtModel::FeatureImportance() const {
-  std::vector<double> importance(num_features_, 0.0);
+void GbdtModel::PredictBatch(const float* rows, size_t num_rows,
+                             size_t row_stride, std::span<double> out,
+                             ThreadPool* pool) const {
+  flat_.PredictBatch(rows, num_rows, row_stride, out, pool);
+}
+
+double GbdtModel::AddSplitCounts(std::span<double> counts) const {
+  STAGE_DCHECK(counts.size() == static_cast<size_t>(num_features_));
   double total = 0.0;
   for (const auto& round : trees_) {
     for (const auto& tree : round) {
       for (const auto& node : tree.nodes()) {
         if (node.is_leaf()) continue;
         STAGE_DCHECK(node.feature >= 0 && node.feature < num_features_);
-        importance[node.feature] += 1.0;
+        counts[node.feature] += 1.0;
         total += 1.0;
       }
     }
   }
+  return total;
+}
+
+std::vector<double> GbdtModel::FeatureImportance() const {
+  std::vector<double> importance(num_features_, 0.0);
+  const double total = AddSplitCounts(importance);
   if (total > 0.0) {
     for (double& v : importance) v /= total;
   }
@@ -337,6 +458,9 @@ size_t GbdtModel::MemoryBytes() const {
   for (const auto& round : trees_) {
     for (const auto& tree : round) bytes += tree.MemoryBytes();
   }
+  // The compiled inference layout is a second copy of the forest and is
+  // part of the model's real serving footprint (Fig. 9 accounting).
+  bytes += flat_.MemoryBytes();
   return bytes;
 }
 
@@ -380,6 +504,7 @@ bool GbdtModel::Load(std::istream& in) {
   num_outputs_ = num_outputs;
   base_scores_ = std::move(base_scores);
   trees_ = std::move(trees);
+  flat_ = FlatForest::Compile(base_scores_, trees_);
   return true;
 }
 

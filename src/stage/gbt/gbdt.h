@@ -4,9 +4,12 @@
 #include <cstdint>
 #include <istream>
 #include <ostream>
+#include <span>
 #include <vector>
 
+#include "stage/common/thread_pool.h"
 #include "stage/gbt/dataset.h"
+#include "stage/gbt/flat_forest.h"
 #include "stage/gbt/loss.h"
 #include "stage/gbt/tree.h"
 
@@ -34,6 +37,12 @@ struct GbdtConfig {
 // A gradient-boosted decision tree model trained with per-leaf Newton steps
 // (XGBoost-style second-order boosting) over histogram-quantized features.
 // Supports multi-output losses: one tree per output per round.
+//
+// Two representations coexist: the node-vector trees (canonical — training
+// builds them and Save/Load serializes them, so checkpoint bytes are
+// independent of the inference layout) and a FlatForest compiled from them
+// after Train/Load, which serves every Predict* call without heap
+// allocation.
 class GbdtModel {
  public:
   GbdtModel() = default;
@@ -42,10 +51,19 @@ class GbdtModel {
   static GbdtModel Train(const Dataset& data, const Loss& loss,
                          const GbdtConfig& config);
 
-  // Predicts all outputs for one raw feature row.
+  // Predicts all outputs for one raw feature row. Thin wrapper over
+  // PredictInto; hot paths should call PredictInto with reused storage.
   std::vector<double> Predict(const float* row) const;
+  // Allocation-free predict into caller storage; out.size() must equal
+  // num_outputs().
+  void PredictInto(const float* row, std::span<double> out) const;
   // Convenience: output 0 only (single-output losses).
   double PredictScalar(const float* row) const;
+  // Blocked batch predict over row-major rows (`row_stride` floats apart);
+  // `out` is row-major [num_rows x num_outputs()]. See
+  // FlatForest::PredictBatch.
+  void PredictBatch(const float* rows, size_t num_rows, size_t row_stride,
+                    std::span<double> out, ThreadPool* pool = nullptr) const;
 
   // Binary checkpointing; Load replaces the model and returns false on a
   // malformed stream.
@@ -57,6 +75,10 @@ class GbdtModel {
   // (all-zero for a constant model). Useful for auditing what the local
   // model actually keys on.
   std::vector<double> FeatureImportance() const;
+  // Out-parameter form: adds this model's raw split counts into `counts`
+  // (size num_features()) and returns the total number of splits, letting
+  // aggregating callers (ensembles) avoid per-member temporaries.
+  double AddSplitCounts(std::span<double> counts) const;
 
   int num_outputs() const { return num_outputs_; }
   int num_features() const { return num_features_; }
@@ -64,12 +86,23 @@ class GbdtModel {
   int rounds_used() const { return static_cast<int>(trees_.size()); }
   size_t MemoryBytes() const;
 
+  // The canonical node-vector trees, trees()[round][output], and the
+  // compiled inference form. Exposed for golden-equivalence tests and
+  // benchmarks of the two layouts.
+  const std::vector<std::vector<RegressionTree>>& trees() const {
+    return trees_;
+  }
+  const std::vector<double>& base_scores() const { return base_scores_; }
+  const FlatForest& flat() const { return flat_; }
+
  private:
   int num_features_ = 0;
   int num_outputs_ = 0;
   std::vector<double> base_scores_;
   // trees_[round][output].
   std::vector<std::vector<RegressionTree>> trees_;
+  // Compiled from trees_ by Train/Load; never serialized.
+  FlatForest flat_;
 };
 
 }  // namespace stage::gbt

@@ -5,6 +5,7 @@
 
 #include "stage/common/macros.h"
 #include "stage/common/serialize.h"
+#include "stage/common/thread_pool.h"
 
 namespace stage::serve {
 
@@ -78,15 +79,24 @@ core::Prediction PredictionService::Predict(
   return out;
 }
 
+namespace {
+
+// Batches at least this large fan out across the shared thread pool; the
+// per-query routing work (cache shard lookup + flat-forest walk) is too
+// small to amortize task handoff below it.
+constexpr size_t kParallelBatchThreshold = 64;
+
+}  // namespace
+
 std::vector<core::Prediction> PredictionService::PredictBatch(
     std::span<const core::QueryContext> queries) const {
   // One model snapshot amortized across the batch; cache lookups still go
   // through the shard locks individually so a batch never starves writers.
   const std::shared_ptr<const local::LocalModel> local =
       local_model_snapshot();
-  std::vector<core::Prediction> out;
-  out.reserve(queries.size());
-  for (const core::QueryContext& query : queries) {
+  std::vector<core::Prediction> out(queries.size());
+  const auto predict_one = [&](size_t i) {
+    const core::QueryContext& query = queries[i];
     const auto query_start = std::chrono::steady_clock::now();
     core::Prediction prediction = core::RouteHierarchical(
         config_.predictor, query, cache_.Predict(query.feature_hash),
@@ -95,7 +105,17 @@ std::vector<core::Prediction> PredictionService::PredictBatch(
         1, std::memory_order_relaxed);
     predict_latency_.Record(static_cast<size_t>(prediction.source),
                             ElapsedNanos(query_start));
-    out.push_back(prediction);
+    out[i] = prediction;
+  };
+  if (queries.size() >= kParallelBatchThreshold) {
+    // Safe to fan out: cache_.Predict only touches per-shard locks and
+    // atomic counters, the model snapshot is immutable, and the latency
+    // recorder is already shared by concurrent Predict callers. Each lane
+    // writes only its own out[i], so results match the sequential loop
+    // exactly (counters land in scheduling order, values are identical).
+    ThreadPool::Shared().ParallelFor(queries.size(), predict_one);
+  } else {
+    for (size_t i = 0; i < queries.size(); ++i) predict_one(i);
   }
   return out;
 }

@@ -49,7 +49,9 @@ struct PredictionServiceConfig {
 //  * Read path (Predict / PredictBatch, const): one sharded-cache lookup
 //    (per-shard mutex, sub-microsecond critical section), an atomic
 //    shared_ptr load of the current local-model snapshot, then the shared
-//    §4.1 routing function. Never blocks on training.
+//    §4.1 routing function. Never blocks on training. Large batches fan
+//    the per-query routing out across ThreadPool::Shared(); every lane
+//    writes its own output slot, so results match the sequential loop.
 //  * Write path (Observe): serialized by an internal mutex (multiple
 //    writer sessions are safe), updates the cache shard and training pool,
 //    and — at the §4.3 cadence — either signals the retrain worker (async)

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <vector>
 
@@ -7,6 +8,7 @@
 #include <sstream>
 
 #include "stage/common/flags.h"
+#include "stage/common/thread_pool.h"
 #include "stage/common/p2_quantile.h"
 #include "stage/common/serialize.h"
 #include "stage/common/rng.h"
@@ -442,6 +444,50 @@ TEST(P2QuantileTest, LoadRejectsTruncatedState) {
   P2Quantile target(0.5);
   std::istringstream truncated(bytes.substr(0, bytes.size() - 8));
   EXPECT_FALSE(target.Load(truncated));
+}
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.ParallelFor(counts.size(),
+                   [&](size_t i) { counts[i].fetch_add(1); });
+  for (const auto& count : counts) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesDegenerateSizes) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  pool.ParallelFor(1, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 1);
+  // A zero-worker pool degrades to an inline loop.
+  ThreadPool inline_pool(0);
+  inline_pool.ParallelFor(10, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 11);
+}
+
+// The caller participates in the work, so a ParallelFor issued from inside
+// a pool task completes even with every worker occupied. A per-helper
+// completion design would deadlock here; per-item tracking must not.
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsSubmittedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&] { ran.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 32);
 }
 
 TEST(SerializeTest, HeaderMismatchDetected) {

@@ -1,10 +1,13 @@
 #include <cmath>
+#include <limits>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "stage/common/rng.h"
+#include "stage/common/thread_pool.h"
 #include "stage/gbt/dataset.h"
 #include "stage/gbt/ensemble.h"
 #include "stage/gbt/gbdt.h"
@@ -502,6 +505,185 @@ TEST(SerializationTest, EnsembleRoundTrip) {
   EXPECT_DOUBLE_EQ(original.Predict(row).mean, restored.Predict(row).mean);
   EXPECT_DOUBLE_EQ(original.Predict(row).total_variance(),
                    restored.Predict(row).total_variance());
+}
+
+// Reference implementation of the pre-FlatForest predict path: base scores
+// plus a walk of the canonical node-vector trees in round-major,
+// output-interleaved order. FlatForest must match it bit for bit.
+std::vector<double> NodeWalkPredict(const GbdtModel& model, const float* row) {
+  std::vector<double> out = model.base_scores();
+  for (const auto& round : model.trees()) {
+    for (size_t j = 0; j < round.size(); ++j) {
+      out[j] += round[j].Predict(row);
+    }
+  }
+  return out;
+}
+
+TEST(FlatForestTest, GoldenEquivalenceWithNodeWalk) {
+  Rng rng(404);
+  for (const uint64_t seed : {11u, 12u, 13u}) {
+    const Dataset data = LinearDataset(600, seed, 0.3);
+    GbdtConfig config;
+    config.num_rounds = 40;
+    config.max_depth = static_cast<int>(3 + seed % 4);
+    config.seed = seed;
+    const auto loss = MakeGaussianNllLoss();
+    const GbdtModel model = GbdtModel::Train(data, *loss, config);
+    ASSERT_FALSE(model.flat().empty());
+    EXPECT_EQ(model.flat().num_outputs(), model.num_outputs());
+    EXPECT_EQ(model.flat().num_trees(),
+              model.trees().size() *
+                  static_cast<size_t>(model.num_outputs()));
+    for (int i = 0; i < 200; ++i) {
+      const float row[3] = {static_cast<float>(rng.NextUniform(-2, 2)),
+                            static_cast<float>(rng.NextUniform(-2, 2)),
+                            static_cast<float>(rng.NextUniform(-2, 2))};
+      const std::vector<double> expected = NodeWalkPredict(model, row);
+      const std::vector<double> got = model.Predict(row);
+      ASSERT_EQ(expected.size(), got.size());
+      for (size_t j = 0; j < expected.size(); ++j) {
+        // Exact equality, not near: the flat layout must not change a
+        // single result bit.
+        EXPECT_EQ(expected[j], got[j]) << "seed " << seed << " output " << j;
+      }
+      EXPECT_EQ(expected[0], model.PredictScalar(row));
+    }
+  }
+}
+
+TEST(FlatForestTest, NanFeaturesTakeTheRightChildLikeNodeWalk) {
+  const Dataset data = LinearDataset(500, 9, 0.1);
+  GbdtConfig config;
+  config.num_rounds = 30;
+  const auto loss = MakeSquaredLoss();
+  const GbdtModel model = GbdtModel::Train(data, *loss, config);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float rows[3][3] = {{nan, 0.5f, -0.5f},
+                            {0.5f, nan, nan},
+                            {nan, nan, nan}};
+  for (const auto& row : rows) {
+    EXPECT_EQ(NodeWalkPredict(model, row)[0], model.PredictScalar(row));
+  }
+}
+
+TEST(FlatForestTest, PredictVariantsAgreeBitForBit) {
+  const Dataset data = LinearDataset(800, 21, 0.2);
+  GbdtConfig config;
+  config.num_rounds = 50;
+  const auto loss = MakeGaussianNllLoss();
+  const GbdtModel model = GbdtModel::Train(data, *loss, config);
+  const int num_outputs = model.num_outputs();
+  ASSERT_EQ(num_outputs, 2);
+
+  // A few hundred rows, beyond one PredictBatch block, plus a NaN row.
+  Rng rng(22);
+  const size_t num_rows = 300;
+  std::vector<float> rows(num_rows * 3);
+  for (float& v : rows) v = static_cast<float>(rng.NextUniform(-2, 2));
+  rows[5 * 3 + 1] = std::numeric_limits<float>::quiet_NaN();
+
+  std::vector<double> batch(num_rows * num_outputs);
+  model.PredictBatch(rows.data(), num_rows, 3, batch);
+  std::vector<double> batch_pooled(num_rows * num_outputs);
+  ThreadPool pool(3);
+  model.PredictBatch(rows.data(), num_rows, 3, batch_pooled, &pool);
+
+  std::vector<double> into(num_outputs);
+  for (size_t r = 0; r < num_rows; ++r) {
+    const float* row = rows.data() + r * 3;
+    const std::vector<double> reference = model.Predict(row);
+    model.PredictInto(row, into);
+    for (int j = 0; j < num_outputs; ++j) {
+      EXPECT_EQ(reference[j], into[j]) << r;
+      EXPECT_EQ(reference[j], batch[r * num_outputs + j]) << r;
+      EXPECT_EQ(reference[j], batch_pooled[r * num_outputs + j]) << r;
+    }
+  }
+}
+
+TEST(EnsembleTest, PredictBatchMatchesPerRowBitForBit) {
+  const Dataset data = LinearDataset(600, 31, 0.2);
+  EnsembleConfig config;
+  config.num_members = 3;
+  config.member.num_rounds = 25;
+  const BayesianGbtEnsemble ensemble = BayesianGbtEnsemble::Train(data, config);
+
+  Rng rng(33);
+  const size_t num_rows = 200;
+  std::vector<float> rows(num_rows * 3);
+  for (float& v : rows) v = static_cast<float>(rng.NextUniform(-2, 2));
+
+  std::vector<BayesianGbtEnsemble::Prediction> batch(num_rows);
+  ensemble.PredictBatch(rows.data(), num_rows, 3, batch);
+  ThreadPool pool(2);
+  std::vector<BayesianGbtEnsemble::Prediction> batch_pooled(num_rows);
+  ensemble.PredictBatch(rows.data(), num_rows, 3, batch_pooled, &pool);
+
+  for (size_t r = 0; r < num_rows; ++r) {
+    const auto single = ensemble.Predict(rows.data() + r * 3);
+    EXPECT_EQ(single.mean, batch[r].mean) << r;
+    EXPECT_EQ(single.model_variance, batch[r].model_variance) << r;
+    EXPECT_EQ(single.data_variance, batch[r].data_variance) << r;
+    EXPECT_EQ(single.mean, batch_pooled[r].mean) << r;
+    EXPECT_EQ(single.model_variance, batch_pooled[r].model_variance) << r;
+    EXPECT_EQ(single.data_variance, batch_pooled[r].data_variance) << r;
+  }
+}
+
+// The trained bytes must not depend on how training was scheduled: every
+// member derives its own seed and writes its own slot, so any pool width
+// (and the serial path) must produce an identical checkpoint.
+TEST(EnsembleTest, TrainedBytesIdenticalAcrossPoolWidths) {
+  const Dataset data = LinearDataset(500, 61, 0.2);
+  EnsembleConfig config;
+  config.num_members = 4;
+  config.member.num_rounds = 25;
+
+  config.parallel_train = false;
+  const BayesianGbtEnsemble serial = BayesianGbtEnsemble::Train(data, config);
+  std::stringstream serial_buffer;
+  serial.Save(serial_buffer);
+  const std::string serial_bytes = serial_buffer.str();
+
+  config.parallel_train = true;
+  for (const size_t width : {1u, 2u, 8u}) {
+    ThreadPool pool(width);
+    const BayesianGbtEnsemble trained =
+        BayesianGbtEnsemble::Train(data, config, &pool);
+    std::stringstream buffer;
+    trained.Save(buffer);
+    EXPECT_EQ(buffer.str(), serial_bytes) << "pool width " << width;
+  }
+}
+
+// The FlatForest is an inference-only companion: compiling it (and running
+// predictions through it) must leave the serialized node-vector checkpoint
+// byte-for-byte unchanged, and a loaded model must re-save identically.
+TEST(SerializationTest, CheckpointBytesUnchangedByFlatCompilation) {
+  const Dataset data = LinearDataset(600, 71, 0.1);
+  GbdtConfig config;
+  config.num_rounds = 40;
+  const auto loss = MakeGaussianNllLoss();
+  const GbdtModel model = GbdtModel::Train(data, *loss, config);
+
+  std::stringstream first;
+  model.Save(first);
+  const float row[3] = {0.3f, -0.1f, 0.7f};
+  (void)model.Predict(row);
+  (void)model.PredictScalar(row);
+  std::stringstream second;
+  model.Save(second);
+  EXPECT_EQ(first.str(), second.str());
+
+  GbdtModel restored;
+  std::stringstream reload(first.str());
+  ASSERT_TRUE(restored.Load(reload));
+  std::stringstream resaved;
+  restored.Save(resaved);
+  EXPECT_EQ(first.str(), resaved.str());
+  // And the loaded model's flat path serves identical predictions.
+  EXPECT_EQ(model.PredictScalar(row), restored.PredictScalar(row));
 }
 
 TEST(SerializationTest, GbdtRejectsGarbageAndWrongMagic) {

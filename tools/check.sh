@@ -28,6 +28,18 @@ build_and_test() {
 
 build_and_test release ""
 
+echo "=== [release] GBT hot-path bench smoke (STAGE_BENCH_FAST=1) ==="
+(cd "${repo_root}/build-check-release/bench" && \
+  STAGE_BENCH_FAST=1 ./bench_gbt_hot_path)
+bench_json="${repo_root}/build-check-release/bench/BENCH_gbt_hot_path.json"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "${bench_json}" > /dev/null
+else
+  # No python3: at least require the closing speedup fields to be present.
+  grep -q '"speedup"' "${bench_json}"
+fi
+echo "=== bench JSON OK: ${bench_json} ==="
+
 if [[ "${fast}" -eq 0 ]]; then
   build_and_test asan address
   echo "=== [asan] checkpoint corruption fault-injection suite ==="
