@@ -1,8 +1,9 @@
 // Serving-path overhead (§4.5, Fig. 9 companion): shows that inline
 // retraining stalls the request path for the whole training duration while
 // the serving layer's background retraining keeps the worst-case request
-// latency flat, and how reader throughput scales with concurrent sessions
-// against one writer.
+// latency flat, how reader throughput scales with concurrent sessions
+// against one writer, and what attaching the obs metrics registry costs on
+// the single-prediction hot path (acceptance bar: <=3% p50).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -13,6 +14,7 @@
 #include "bench_common.h"
 #include "stage/common/stats.h"
 #include "stage/metrics/report.h"
+#include "stage/obs/metrics.h"
 #include "stage/serve/prediction_service.h"
 
 using namespace stage;
@@ -92,6 +94,39 @@ double ReaderQps(const fleet::InstanceTrace& instance,
   return metrics::LatencyRecorder::Qps(predictions.load(), elapsed);
 }
 
+// Pure single-prediction latency, with or without the metrics registry
+// attached. The service is warmed first (local model trained, cache
+// filled), so the measured loop is exactly the production read path:
+// sharded cache probe + routing + (with metrics) a handful of relaxed
+// atomic RMWs. No locks, no per-predict allocation.
+std::vector<double> PredictNanos(const fleet::InstanceTrace& instance,
+                                 const std::vector<core::QueryContext>& contexts,
+                                 obs::MetricsRegistry* registry) {
+  serve::PredictionServiceConfig config;
+  config.predictor = bench::PaperStageConfig();
+  config.cache_shards = 8;
+  config.async_retrain = false;
+  core::StagePredictorOptions options;
+  options.instance = &instance.config;
+  options.metrics = registry;
+  serve::PredictionService service(config, options);
+  for (size_t i = 0; i < contexts.size(); ++i) {
+    service.Predict(contexts[i]);
+    service.Observe(contexts[i], instance.trace[i].exec_seconds);
+  }
+
+  std::vector<double> nanos;
+  nanos.reserve(contexts.size());
+  for (const core::QueryContext& context : contexts) {
+    const auto start = std::chrono::steady_clock::now();
+    service.Predict(context);
+    nanos.push_back(std::chrono::duration<double, std::nano>(
+                        std::chrono::steady_clock::now() - start)
+                        .count());
+  }
+  return nanos;
+}
+
 }  // namespace
 
 int main() {
@@ -137,5 +172,26 @@ int main() {
                                                    readers))});
   }
   std::printf("%s", scaling.Render().c_str());
+
+  std::printf("\n== Metrics-enabled prediction overhead ==\n");
+  obs::MetricsRegistry registry;
+  std::vector<double> off = PredictNanos(instance, contexts, nullptr);
+  std::vector<double> on = PredictNanos(instance, contexts, &registry);
+  metrics::TextTable overhead;
+  overhead.SetHeader({"Metrics", "p50 (ns)", "p99 (ns)", "Mean (ns)"});
+  const auto add_row = [&](const char* name, std::vector<double>& nanos) {
+    overhead.AddRow({name, metrics::FormatValue(Quantile(nanos, 0.5)),
+                     metrics::FormatValue(Quantile(nanos, 0.99)),
+                     metrics::FormatValue(Mean(nanos))});
+  };
+  add_row("off", off);
+  add_row("on", on);
+  std::printf("%s", overhead.Render().c_str());
+  const double p50_off = Quantile(off, 0.5);
+  const double p50_on = Quantile(on, 0.5);
+  std::printf("p50 delta: %+.2f%% (budget: +3%%). The enabled path adds a\n"
+              "stack PredictionTrace plus relaxed atomic counter/histogram\n"
+              "updates - no locks, no heap allocation per predict.\n",
+              100.0 * (p50_on - p50_off) / p50_off);
   return 0;
 }

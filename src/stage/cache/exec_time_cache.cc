@@ -58,7 +58,7 @@ void ExecTimeCache::Observe(uint64_t key, double exec_time, uint64_t tick) {
       const auto victim = by_update_time_.begin();
       entries_.erase(victim->second);
       by_update_time_.erase(victim);
-      ++evictions_;
+      evictions_.fetch_add(1, std::memory_order_relaxed);
     }
     it = entries_.emplace(key, Entry{}).first;
   }
@@ -125,7 +125,7 @@ bool ExecTimeCache::Load(std::istream& in) {
   // counters describe a process lifetime, not the cached state.
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
-  evictions_ = 0;
+  evictions_.store(0, std::memory_order_relaxed);
   return true;
 }
 

@@ -73,7 +73,9 @@ class ExecTimeCache {
   size_t capacity() const { return config_.capacity; }
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
-  uint64_t evictions() const { return evictions_; }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
 
   // Approximate resident size (Fig. 9 accounting).
   size_t MemoryBytes() const;
@@ -95,10 +97,11 @@ class ExecTimeCache {
   // is the least-recently-updated query.
   std::map<std::pair<uint64_t, uint64_t>, uint64_t> by_update_time_;
   // Mutable + atomic so the const read path can count without a writer
-  // lock; evictions_ is only touched by Observe and stays plain.
+  // lock; evictions_ is written only by Observe but atomic as well so a
+  // metrics scrape may read it while an Observe is in flight.
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
-  uint64_t evictions_ = 0;
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace stage::cache

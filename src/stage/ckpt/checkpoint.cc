@@ -1,6 +1,8 @@
 #include "stage/ckpt/checkpoint.h"
 
+#include <filesystem>
 #include <sstream>
+#include <system_error>
 #include <utility>
 
 namespace stage::ckpt {
@@ -84,11 +86,35 @@ bool LoadLocalModelSnapshot(local::LocalModel* model, const std::string& path,
 PeriodicCheckpointer::PeriodicCheckpointer(
     const serve::PredictionService& service, Options options)
     : service_(service), options_(std::move(options)) {
+  if (options_.metrics != nullptr) RegisterMetrics();
   if (options_.checkpoint_on_start) TriggerNow();
   worker_ = std::thread([this] { Loop(); });
 }
 
-PeriodicCheckpointer::~PeriodicCheckpointer() { Stop(); }
+PeriodicCheckpointer::~PeriodicCheckpointer() {
+  Stop();
+  // After Stop no snapshot is in flight, so the callbacks reading our
+  // counters can be dropped safely.
+  if (options_.metrics != nullptr) options_.metrics->UnregisterAll(this);
+}
+
+void PeriodicCheckpointer::RegisterMetrics() {
+  obs::MetricsRegistry* registry = options_.metrics;
+  const std::string& prefix = options_.metrics_prefix;
+  registry->RegisterCounterCallback(
+      this, prefix + "snapshots_total{result=\"ok\"}",
+      [this] { return completed(); });
+  registry->RegisterCounterCallback(
+      this, prefix + "snapshots_total{result=\"fail\"}",
+      [this] { return failed(); });
+  registry->RegisterCounterCallback(this, prefix + "bytes_written_total",
+                                    [this] { return bytes_written(); });
+  registry->RegisterGaugeCallback(
+      this, prefix + "last_snapshot_bytes",
+      [this] { return static_cast<double>(last_snapshot_bytes()); });
+  write_duration_ns_ = &registry->GetHistogram(
+      prefix + "write_duration_ns", obs::Histogram::LatencyBucketsNanos());
+}
 
 void PeriodicCheckpointer::Stop() {
   {
@@ -134,7 +160,23 @@ void PeriodicCheckpointer::Loop() {
 }
 
 bool PeriodicCheckpointer::WriteOnce(std::string* error) {
-  return SaveServiceSnapshot(service_, options_.path, error);
+  const auto start = std::chrono::steady_clock::now();
+  const bool ok = SaveServiceSnapshot(service_, options_.path, error);
+  if (write_duration_ns_ != nullptr) {
+    write_duration_ns_->Record(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+  }
+  if (ok) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(options_.path, ec);
+    if (!ec) {
+      last_snapshot_bytes_.store(size, std::memory_order_relaxed);
+      bytes_written_.fetch_add(size, std::memory_order_relaxed);
+    }
+  }
+  return ok;
 }
 
 }  // namespace stage::ckpt

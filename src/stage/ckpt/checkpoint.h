@@ -12,6 +12,7 @@
 #include "stage/ckpt/snapshot_file.h"
 #include "stage/core/stage_predictor.h"
 #include "stage/local/local_model.h"
+#include "stage/obs/metrics.h"
 #include "stage/serve/prediction_service.h"
 
 namespace stage::ckpt {
@@ -59,6 +60,11 @@ class PeriodicCheckpointer {
     std::chrono::milliseconds interval{60000};
     // When true, write one snapshot immediately on construction.
     bool checkpoint_on_start = false;
+    // Optional observability sink: snapshots written/failed, bytes
+    // published, and write duration are exposed under `metrics_prefix`.
+    // Must outlive the checkpointer (callbacks unregister on destruction).
+    obs::MetricsRegistry* metrics = nullptr;
+    std::string metrics_prefix = "stage_ckpt_";
   };
 
   PeriodicCheckpointer(const serve::PredictionService& service,
@@ -84,14 +90,27 @@ class PeriodicCheckpointer {
   // Last failure message; empty when every snapshot so far succeeded.
   std::string last_error() const;
 
+  // Bytes published across all successful snapshots, and the size of the
+  // most recent one (0 before the first success).
+  uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+  uint64_t last_snapshot_bytes() const {
+    return last_snapshot_bytes_.load(std::memory_order_relaxed);
+  }
+
  private:
   void Loop();
+  void RegisterMetrics();
   bool WriteOnce(std::string* error);
 
   const serve::PredictionService& service_;
   const Options options_;
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> last_snapshot_bytes_{0};
+  obs::Histogram* write_duration_ns_ = nullptr;  // Owned by the registry.
   mutable std::mutex error_mutex_;
   std::string last_error_;
   std::mutex stop_mutex_;

@@ -37,6 +37,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
     task();
   }
 }
@@ -87,6 +88,11 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   run_lane();
   std::unique_lock<std::mutex> lock(state->mutex);
   state->done.wait(lock, [&] { return state->completed.load() == n; });
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
 }
 
 ThreadPool& ThreadPool::Shared() {

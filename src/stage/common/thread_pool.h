@@ -1,8 +1,10 @@
 #ifndef STAGE_COMMON_THREAD_POOL_H_
 #define STAGE_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -29,6 +31,14 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  // Telemetry: tasks a worker has started executing (lifetime counter; does
+  // not include lanes run inline by a ParallelFor caller) and the current
+  // backlog of queued-but-unstarted tasks.
+  uint64_t tasks_run() const {
+    return tasks_run_.load(std::memory_order_relaxed);
+  }
+  size_t queue_depth() const;
+
   // Enqueues a fire-and-forget task.
   void Submit(std::function<void()> task);
 
@@ -47,10 +57,11 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> tasks_;
   bool stopping_ = false;
+  std::atomic<uint64_t> tasks_run_{0};
   std::vector<std::thread> workers_;
 };
 

@@ -1,9 +1,25 @@
 #include "stage/core/stage_predictor.h"
 
+#include <chrono>
+
 #include "stage/common/macros.h"
 #include "stage/common/serialize.h"
 
 namespace stage::core {
+
+// The obs layer restates PredictionSource as obs::TraceStage (obs sits
+// below core); the two must stay numerically identical.
+static_assert(obs::kNumTraceStages == kNumPredictionSources);
+static_assert(static_cast<int>(obs::TraceStage::kCache) ==
+              static_cast<int>(PredictionSource::kCache));
+static_assert(static_cast<int>(obs::TraceStage::kLocal) ==
+              static_cast<int>(PredictionSource::kLocal));
+static_assert(static_cast<int>(obs::TraceStage::kGlobal) ==
+              static_cast<int>(PredictionSource::kGlobal));
+static_assert(static_cast<int>(obs::TraceStage::kBaseline) ==
+              static_cast<int>(PredictionSource::kBaseline));
+static_assert(static_cast<int>(obs::TraceStage::kDefault) ==
+              static_cast<int>(PredictionSource::kDefault));
 
 std::string StagePredictorConfig::Validate() const {
   if (cache.capacity == 0) return "cache.capacity must be positive";
@@ -33,24 +49,45 @@ std::string StagePredictorConfig::Validate() const {
   return "";
 }
 
+namespace {
+
+// Mirrors the final routing outcome into the trace. The decision-record
+// flags are filled at the branch points in RouteHierarchical.
+inline void FinishTrace(obs::PredictionTrace* trace, const Prediction& out) {
+  if (trace == nullptr) return;
+  trace->stage = static_cast<obs::TraceStage>(out.source);
+  trace->predicted_seconds = out.seconds;
+  trace->uncertainty_log_std = out.uncertainty_log_std;
+}
+
+}  // namespace
+
 Prediction RouteHierarchical(const StagePredictorConfig& config,
                              const QueryContext& query,
                              std::optional<double> cached_seconds,
                              const local::LocalModel* local,
                              const global::GlobalModel* global_model,
-                             const fleet::InstanceConfig* instance) {
+                             const fleet::InstanceConfig* instance,
+                             obs::PredictionTrace* trace) {
   Prediction out;
+  if (trace != nullptr) {
+    trace->short_running_threshold = config.short_running_seconds;
+    trace->uncertainty_threshold = config.uncertainty_log_std_threshold;
+  }
 
   // Stage 1: exec-time cache.
   if (cached_seconds) {
     out.seconds = *cached_seconds;
     out.source = PredictionSource::kCache;
+    if (trace != nullptr) trace->cache_hit = true;
+    FinishTrace(trace, out);
     return out;
   }
 
   const bool global_available = config.use_global && global_model != nullptr &&
                                 global_model->trained() &&
                                 instance != nullptr && query.plan != nullptr;
+  if (trace != nullptr) trace->global_available = global_available;
 
   // Stage 2: instance-optimized local model.
   if (local != nullptr && local->trained()) {
@@ -63,13 +100,21 @@ Prediction RouteHierarchical(const StagePredictorConfig& config,
         local_out.exec_seconds < config.short_running_seconds;
     const bool confident =
         local_out.log_std() < config.uncertainty_log_std_threshold;
+    if (trace != nullptr) {
+      trace->local_trained = true;
+      trace->short_running = short_running;
+      trace->confident = confident;
+    }
     if (short_running || confident || !global_available) {
+      FinishTrace(trace, out);
       return out;
     }
     // Stage 3: the local model is uncertain about a long-running query.
     out.seconds = global_model->PredictSeconds(*query.plan, *instance,
                                                query.concurrent_queries);
     out.source = PredictionSource::kGlobal;
+    if (trace != nullptr) trace->escalated = true;
+    FinishTrace(trace, out);
     return out;
   }
 
@@ -79,10 +124,12 @@ Prediction RouteHierarchical(const StagePredictorConfig& config,
     out.seconds = global_model->PredictSeconds(*query.plan, *instance,
                                                query.concurrent_queries);
     out.source = PredictionSource::kGlobal;
+    FinishTrace(trace, out);
     return out;
   }
   out.seconds = kColdStartDefaultSeconds;
   out.source = PredictionSource::kDefault;
+  FinishTrace(trace, out);
   return out;
 }
 
@@ -95,14 +142,88 @@ StagePredictor::StagePredictor(const StagePredictorConfig& config,
       options_(options) {
   const std::string error = config.Validate();
   STAGE_CHECK_MSG(error.empty(), error.c_str());
+  if (options_.metrics != nullptr) RegisterMetrics();
+}
+
+StagePredictor::~StagePredictor() {
+  if (options_.metrics != nullptr) options_.metrics->UnregisterAll(this);
+}
+
+void StagePredictor::RegisterMetrics() {
+  obs::MetricsRegistry* registry = options_.metrics;
+  const std::string& prefix = options_.metrics_prefix;
+  routing_metrics_ =
+      obs::RoutingMetricSet::Create(registry, prefix, /*with_latency=*/true);
+  for (int i = 0; i < kNumPredictionSources; ++i) {
+    const auto source = static_cast<PredictionSource>(i);
+    registry->RegisterCounterCallback(
+        this,
+        prefix + "predictions_total{source=\"" +
+            std::string(PredictionSourceName(source)) + "\"}",
+        [this, i] {
+          return source_counts_[i].load(std::memory_order_relaxed);
+        });
+  }
+  registry->RegisterCounterCallback(this, prefix + "cache_hits_total",
+                                    [this] { return cache_.hits(); });
+  registry->RegisterCounterCallback(this, prefix + "cache_misses_total",
+                                    [this] { return cache_.misses(); });
+  registry->RegisterCounterCallback(this, prefix + "cache_evictions_total",
+                                    [this] { return cache_.evictions(); });
+  registry->RegisterGaugeCallback(
+      this, prefix + "cache_entries",
+      [this] { return static_cast<double>(cache_.size()); });
+  registry->RegisterGaugeCallback(
+      this, prefix + "resident_memory_bytes",
+      [this] { return static_cast<double>(LocalMemoryBytes()); });
+  registry->RegisterGaugeCallback(
+      this, prefix + "pool_entries",
+      [this] { return static_cast<double>(pool_.size()); });
+  registry->RegisterCounterCallback(
+      this, prefix + "local_trainings_total",
+      [this] { return static_cast<uint64_t>(local_.trainings()); });
+}
+
+Prediction StagePredictor::PredictImpl(const QueryContext& query,
+                                       obs::PredictionTrace* trace) const {
+  Prediction out;
+  if (trace == nullptr) {
+    out = RouteHierarchical(config_, query, cache_.Predict(query.feature_hash),
+                            &local_, options_.global_model, options_.instance);
+  } else {
+    const auto start = std::chrono::steady_clock::now();
+    const std::optional<double> cached = cache_.Predict(query.feature_hash);
+    const auto after_cache = std::chrono::steady_clock::now();
+    out = RouteHierarchical(config_, query, cached, &local_,
+                            options_.global_model, options_.instance, trace);
+    const auto end = std::chrono::steady_clock::now();
+    trace->cache_nanos = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(after_cache -
+                                                             start)
+            .count());
+    trace->route_nanos = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - after_cache)
+            .count());
+    trace->total_nanos = trace->cache_nanos + trace->route_nanos;
+  }
+  source_counts_[static_cast<int>(out.source)].fetch_add(
+      1, std::memory_order_relaxed);
+  return out;
 }
 
 Prediction StagePredictor::Predict(const QueryContext& query) const {
-  const Prediction out =
-      RouteHierarchical(config_, query, cache_.Predict(query.feature_hash),
-                        &local_, options_.global_model, options_.instance);
-  source_counts_[static_cast<int>(out.source)].fetch_add(
-      1, std::memory_order_relaxed);
+  if (!routing_metrics_.enabled()) return PredictImpl(query, nullptr);
+  obs::PredictionTrace trace;
+  const Prediction out = PredictImpl(query, &trace);
+  routing_metrics_.Record(trace);
+  return out;
+}
+
+Prediction StagePredictor::PredictTraced(const QueryContext& query,
+                                         obs::PredictionTrace* trace) const {
+  if (trace == nullptr) return Predict(query);
+  const Prediction out = PredictImpl(query, trace);
+  if (routing_metrics_.enabled()) routing_metrics_.Record(*trace);
   return out;
 }
 

@@ -14,6 +14,8 @@
 #include "stage/global/global_model.h"
 #include "stage/local/local_model.h"
 #include "stage/local/training_pool.h"
+#include "stage/obs/metrics.h"
+#include "stage/obs/trace.h"
 
 namespace stage::core {
 
@@ -50,6 +52,15 @@ struct StagePredictorConfig {
 struct StagePredictorOptions {
   const global::GlobalModel* global_model = nullptr;
   const fleet::InstanceConfig* instance = nullptr;
+  // Optional observability sink. When set, the predictor resolves its
+  // hot-path metrics (escalations, uncertainty, per-stage latency) against
+  // it and registers render-time callbacks for its component state (cache
+  // hits/misses/evictions, pool size, attribution counters); it must
+  // outlive the predictor, which unregisters its callbacks on destruction.
+  obs::MetricsRegistry* metrics = nullptr;
+  // Metric name prefix; distinct predictors sharing one registry must use
+  // distinct prefixes.
+  std::string metrics_prefix = "stage_";
 };
 
 // The §4.1 routing policy as a pure function, shared by StagePredictor and
@@ -57,13 +68,16 @@ struct StagePredictorOptions {
 // cached value; trained local model -> local unless it is uncertain about a
 // long-running query and a global model is usable; otherwise global (cold
 // start) or the cold-start default. `cached_seconds` is the already-made
-// cache lookup; `local` may be null or untrained.
+// cache lookup; `local` may be null or untrained. When `trace` is non-null
+// the routing decision (stage reached, thresholds crossed, uncertainty) is
+// recorded into it; the latency fields are the caller's job.
 Prediction RouteHierarchical(const StagePredictorConfig& config,
                              const QueryContext& query,
                              std::optional<double> cached_seconds,
                              const local::LocalModel* local,
                              const global::GlobalModel* global_model,
-                             const fleet::InstanceConfig* instance);
+                             const fleet::InstanceConfig* instance,
+                             obs::PredictionTrace* trace = nullptr);
 
 // The Stage predictor (§4): exec-time cache -> local Bayesian-ensemble
 // model -> fleet-trained global GCN.
@@ -78,10 +92,18 @@ class StagePredictor final : public ExecTimePredictor {
  public:
   explicit StagePredictor(const StagePredictorConfig& config,
                           const StagePredictorOptions& options = {});
+  ~StagePredictor() override;
 
   Prediction Predict(const QueryContext& query) const override;
   void Observe(const QueryContext& query, double exec_seconds) override;
   std::string_view name() const override { return "Stage"; }
+
+  // Predict with the routing decision recorded into `trace` (stage reached,
+  // thresholds crossed, uncertainty, per-stage latency in ns). The traced
+  // path takes two extra clock reads; predictions are bit-for-bit identical
+  // to Predict. `trace` may be null, degrading to Predict.
+  Prediction PredictTraced(const QueryContext& query,
+                           obs::PredictionTrace* trace) const;
 
   // Attribution counters: how many predictions each stage served.
   uint64_t predictions_from(PredictionSource source) const {
@@ -109,11 +131,16 @@ class StagePredictor final : public ExecTimePredictor {
   bool Load(std::istream& in);
 
  private:
+  Prediction PredictImpl(const QueryContext& query,
+                         obs::PredictionTrace* trace) const;
+  void RegisterMetrics();
+
   StagePredictorConfig config_;
   cache::ExecTimeCache cache_;
   local::TrainingPool pool_;
   local::LocalModel local_;
   StagePredictorOptions options_;  // Borrowed pointers, nullable.
+  obs::RoutingMetricSet routing_metrics_;  // Null members when no registry.
   size_t observed_since_train_ = 0;
   // Mutable + atomic: the const read path attributes each prediction.
   mutable std::array<std::atomic<uint64_t>, kNumPredictionSources>

@@ -1,48 +1,58 @@
 #include "stage/metrics/latency_recorder.h"
 
+#include <cmath>
+
 #include "stage/common/macros.h"
 #include "stage/metrics/report.h"
 
 namespace stage::metrics {
 
-LatencyRecorder::LatencyRecorder(size_t num_slots)
-    : num_slots_(num_slots), slots_(new Slot[num_slots]) {
+LatencyRecorder::LatencyRecorder(size_t num_slots) : num_slots_(num_slots) {
   STAGE_CHECK(num_slots > 0);
+  slots_.reserve(num_slots);
+  for (size_t i = 0; i < num_slots; ++i) {
+    slots_.push_back(std::make_unique<obs::Histogram>(
+        obs::Histogram::LatencyBucketsNanos()));
+  }
 }
 
 void LatencyRecorder::Record(size_t slot, uint64_t nanos) {
   STAGE_DCHECK(slot < num_slots_);
-  Slot& s = slots_[slot];
-  s.count.fetch_add(1, std::memory_order_relaxed);
-  s.total_nanos.fetch_add(nanos, std::memory_order_relaxed);
-  uint64_t seen = s.max_nanos.load(std::memory_order_relaxed);
-  while (nanos > seen && !s.max_nanos.compare_exchange_weak(
-                             seen, nanos, std::memory_order_relaxed)) {
-  }
+  slots_[slot]->Record(static_cast<double>(nanos));
 }
 
 LatencyRecorder::SlotSnapshot LatencyRecorder::slot(size_t slot_index) const {
   STAGE_DCHECK(slot_index < num_slots_);
-  const Slot& s = slots_[slot_index];
+  const obs::Histogram::Snapshot histogram = slots_[slot_index]->TakeSnapshot();
   SlotSnapshot out;
-  out.count = s.count.load(std::memory_order_relaxed);
-  out.total_nanos = s.total_nanos.load(std::memory_order_relaxed);
-  out.max_nanos = s.max_nanos.load(std::memory_order_relaxed);
+  out.count = histogram.count;
+  // Nanosecond sums stay exact in a double well past 2^52 total nanos
+  // (~52 days of accumulated latency); llround recovers the integer.
+  out.total_nanos = static_cast<uint64_t>(std::llround(histogram.sum));
+  out.max_nanos = static_cast<uint64_t>(std::llround(histogram.max));
+  out.p50_nanos = histogram.Quantile(0.50);
+  out.p99_nanos = histogram.Quantile(0.99);
   return out;
+}
+
+obs::Histogram::Snapshot LatencyRecorder::histogram_snapshot(
+    size_t slot_index) const {
+  STAGE_DCHECK(slot_index < num_slots_);
+  return slots_[slot_index]->TakeSnapshot();
 }
 
 uint64_t LatencyRecorder::total_count() const {
   uint64_t total = 0;
-  for (size_t i = 0; i < num_slots_; ++i) {
-    total += slots_[i].count.load(std::memory_order_relaxed);
-  }
+  for (size_t i = 0; i < num_slots_; ++i) total += slots_[i]->count();
   return total;
 }
 
 std::string LatencyRecorder::RenderTable(
     const std::vector<std::string>& slot_names, double elapsed_seconds) const {
   TextTable table;
-  table.SetHeader({"Slot", "Count", "QPS", "Mean (us)", "Max (us)"});
+  table.SetHeader(
+      {"Slot", "Count", "QPS", "Mean (us)", "p50 (us)", "p99 (us)",
+       "Max (us)"});
   for (size_t i = 0; i < num_slots_; ++i) {
     const SlotSnapshot snapshot = slot(i);
     const std::string name =
@@ -50,6 +60,8 @@ std::string LatencyRecorder::RenderTable(
     table.AddRow({name, std::to_string(snapshot.count),
                   FormatValue(Qps(snapshot.count, elapsed_seconds)),
                   FormatValue(snapshot.mean_micros()),
+                  FormatValue(1e-3 * snapshot.p50_nanos),
+                  FormatValue(1e-3 * snapshot.p99_nanos),
                   FormatValue(snapshot.max_micros())});
   }
   return table.Render();

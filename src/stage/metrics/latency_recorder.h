@@ -1,11 +1,12 @@
 #ifndef STAGE_METRICS_LATENCY_RECORDER_H_
 #define STAGE_METRICS_LATENCY_RECORDER_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "stage/obs/metrics.h"
 
 namespace stage::metrics {
 
@@ -15,6 +16,11 @@ namespace stage::metrics {
 // cache hits, local-model predictions, and global escalations report
 // separate latency distributions. All methods are thread-safe; Record is a
 // handful of relaxed atomic RMWs and never blocks.
+//
+// Each slot is backed by an obs::Histogram (the single histogram
+// implementation in the tree), so beyond count/mean/max every slot also
+// reports interpolated percentiles and can be exposed on a MetricsRegistry
+// via histogram_snapshot.
 class LatencyRecorder {
  public:
   explicit LatencyRecorder(size_t num_slots);
@@ -25,6 +31,8 @@ class LatencyRecorder {
     uint64_t count = 0;
     uint64_t total_nanos = 0;
     uint64_t max_nanos = 0;
+    double p50_nanos = 0.0;  // Interpolated from histogram buckets.
+    double p99_nanos = 0.0;
     double mean_micros() const {
       return count == 0 ? 0.0 : 1e-3 * static_cast<double>(total_nanos) /
                                     static_cast<double>(count);
@@ -33,6 +41,9 @@ class LatencyRecorder {
   };
 
   SlotSnapshot slot(size_t slot_index) const;
+  // The raw histogram state of one slot (for MetricsRegistry histogram
+  // callbacks and percentile queries beyond p50/p99).
+  obs::Histogram::Snapshot histogram_snapshot(size_t slot_index) const;
   size_t num_slots() const { return num_slots_; }
   uint64_t total_count() const;
 
@@ -42,20 +53,14 @@ class LatencyRecorder {
                                   : static_cast<double>(count) / elapsed_seconds;
   }
 
-  // Fixed-width table of per-slot count / QPS / mean / max, one row per
-  // named slot (unnamed slots render by index), for CLI diagnostics.
+  // Fixed-width table of per-slot count / QPS / mean / p50 / p99 / max, one
+  // row per named slot (unnamed slots render by index), for CLI diagnostics.
   std::string RenderTable(const std::vector<std::string>& slot_names,
                           double elapsed_seconds) const;
 
  private:
-  struct Slot {
-    std::atomic<uint64_t> count{0};
-    std::atomic<uint64_t> total_nanos{0};
-    std::atomic<uint64_t> max_nanos{0};
-  };
-
   size_t num_slots_;
-  std::unique_ptr<Slot[]> slots_;
+  std::vector<std::unique_ptr<obs::Histogram>> slots_;
 };
 
 }  // namespace stage::metrics

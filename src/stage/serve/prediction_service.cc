@@ -45,12 +45,16 @@ PredictionService::PredictionService(const PredictionServiceConfig& config,
       cache_(ShardedExecTimeCacheConfig{config.predictor.cache,
                                         config.cache_shards}),
       pool_(config.predictor.pool) {
+  if (options_.metrics != nullptr) RegisterMetrics();
   if (config_.async_retrain) {
     worker_ = std::thread([this] { RetrainLoop(); });
   }
 }
 
 PredictionService::~PredictionService() {
+  // Drop render-time callbacks before any member state dies: a scrape
+  // racing destruction must never read a dead cache or pool.
+  if (options_.metrics != nullptr) options_.metrics->UnregisterAll(this);
   if (worker_.joinable()) {
     {
       std::lock_guard<std::mutex> lock(work_mutex_);
@@ -61,8 +65,72 @@ PredictionService::~PredictionService() {
   }
 }
 
-core::Prediction PredictionService::Predict(
-    const core::QueryContext& query) const {
+void PredictionService::RegisterMetrics() {
+  obs::MetricsRegistry* registry = options_.metrics;
+  const std::string& prefix = options_.metrics_prefix;
+  // Escalations + uncertainty come from the hot-path metric set; per-stage
+  // latency is already measured by predict_latency_, exposed below as
+  // histogram callbacks (with_latency=false avoids a duplicate family).
+  routing_metrics_ =
+      obs::RoutingMetricSet::Create(registry, prefix, /*with_latency=*/false);
+  for (int i = 0; i < core::kNumPredictionSources; ++i) {
+    const auto source = static_cast<core::PredictionSource>(i);
+    const std::string label =
+        "{stage=\"" + std::string(core::PredictionSourceName(source)) + "\"}";
+    registry->RegisterCounterCallback(
+        this, prefix + "predictions_total" + label, [this, i] {
+          return source_counts_[i].load(std::memory_order_relaxed);
+        });
+    registry->RegisterHistogramCallback(
+        this, prefix + "predict_latency_ns" + label, [this, i] {
+          return predict_latency_.histogram_snapshot(static_cast<size_t>(i));
+        });
+  }
+  registry->RegisterCounterCallback(this, prefix + "cache_hits_total",
+                                    [this] { return cache_.hits(); });
+  registry->RegisterCounterCallback(this, prefix + "cache_misses_total",
+                                    [this] { return cache_.misses(); });
+  registry->RegisterCounterCallback(this, prefix + "cache_evictions_total",
+                                    [this] { return cache_.evictions(); });
+  for (size_t shard = 0; shard < cache_.num_shards(); ++shard) {
+    const std::string label = "{shard=\"" + std::to_string(shard) + "\"}";
+    registry->RegisterCounterCallback(
+        this, prefix + "cache_shard_hits_total" + label,
+        [this, shard] { return cache_.shard_stats(shard).hits; });
+    registry->RegisterCounterCallback(
+        this, prefix + "cache_shard_misses_total" + label,
+        [this, shard] { return cache_.shard_stats(shard).misses; });
+    registry->RegisterCounterCallback(
+        this, prefix + "cache_shard_evictions_total" + label,
+        [this, shard] { return cache_.shard_stats(shard).evictions; });
+    registry->RegisterGaugeCallback(
+        this, prefix + "cache_shard_entries" + label, [this, shard] {
+          return static_cast<double>(cache_.shard_stats(shard).entries);
+        });
+  }
+  registry->RegisterGaugeCallback(
+      this, prefix + "cache_entries",
+      [this] { return static_cast<double>(cache_.size()); });
+  registry->RegisterGaugeCallback(
+      this, prefix + "pool_entries",
+      [this] { return static_cast<double>(pool_size()); });
+  registry->RegisterGaugeCallback(
+      this, prefix + "resident_memory_bytes",
+      [this] { return static_cast<double>(LocalMemoryBytes()); });
+  registry->RegisterCounterCallback(
+      this, prefix + "local_trainings_total",
+      [this] { return static_cast<uint64_t>(trainings()); });
+  registry->RegisterGaugeCallback(
+      this, prefix + "threadpool_queue_depth", [] {
+        return static_cast<double>(ThreadPool::Shared().queue_depth());
+      });
+  registry->RegisterCounterCallback(
+      this, prefix + "threadpool_tasks_total",
+      [] { return ThreadPool::Shared().tasks_run(); });
+}
+
+core::Prediction PredictionService::PredictImpl(
+    const core::QueryContext& query, obs::PredictionTrace* trace) const {
   const auto start = std::chrono::steady_clock::now();
   // Take the model snapshot before the cache lookup: a snapshot held for
   // the whole routing decision can never be freed mid-predict, and the
@@ -71,11 +139,33 @@ core::Prediction PredictionService::Predict(
       local_model_snapshot();
   const core::Prediction out = core::RouteHierarchical(
       config_.predictor, query, cache_.Predict(query.feature_hash),
-      local.get(), options_.global_model, options_.instance);
+      local.get(), options_.global_model, options_.instance, trace);
   source_counts_[static_cast<int>(out.source)].fetch_add(
       1, std::memory_order_relaxed);
-  predict_latency_.Record(static_cast<size_t>(out.source),
-                          ElapsedNanos(start));
+  const uint64_t nanos = ElapsedNanos(start);
+  predict_latency_.Record(static_cast<size_t>(out.source), nanos);
+  if (trace != nullptr) {
+    trace->cache_shard =
+        static_cast<uint32_t>(query.feature_hash % cache_.num_shards());
+    trace->total_nanos = nanos;
+  }
+  return out;
+}
+
+core::Prediction PredictionService::Predict(
+    const core::QueryContext& query) const {
+  if (!routing_metrics_.enabled()) return PredictImpl(query, nullptr);
+  obs::PredictionTrace trace;
+  const core::Prediction out = PredictImpl(query, &trace);
+  routing_metrics_.Record(trace);
+  return out;
+}
+
+core::Prediction PredictionService::PredictTraced(
+    const core::QueryContext& query, obs::PredictionTrace* trace) const {
+  if (trace == nullptr) return Predict(query);
+  const core::Prediction out = PredictImpl(query, trace);
+  if (routing_metrics_.enabled()) routing_metrics_.Record(*trace);
   return out;
 }
 
@@ -95,16 +185,20 @@ std::vector<core::Prediction> PredictionService::PredictBatch(
   const std::shared_ptr<const local::LocalModel> local =
       local_model_snapshot();
   std::vector<core::Prediction> out(queries.size());
+  const bool traced = routing_metrics_.enabled();
   const auto predict_one = [&](size_t i) {
     const core::QueryContext& query = queries[i];
     const auto query_start = std::chrono::steady_clock::now();
+    obs::PredictionTrace trace;
     core::Prediction prediction = core::RouteHierarchical(
         config_.predictor, query, cache_.Predict(query.feature_hash),
-        local.get(), options_.global_model, options_.instance);
+        local.get(), options_.global_model, options_.instance,
+        traced ? &trace : nullptr);
     source_counts_[static_cast<int>(prediction.source)].fetch_add(
         1, std::memory_order_relaxed);
     predict_latency_.Record(static_cast<size_t>(prediction.source),
                             ElapsedNanos(query_start));
+    if (traced) routing_metrics_.Record(trace);
     out[i] = prediction;
   };
   if (queries.size() >= kParallelBatchThreshold) {

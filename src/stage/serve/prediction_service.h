@@ -18,6 +18,8 @@
 #include "stage/local/local_model.h"
 #include "stage/local/training_pool.h"
 #include "stage/metrics/latency_recorder.h"
+#include "stage/obs/metrics.h"
+#include "stage/obs/trace.h"
 #include "stage/serve/sharded_cache.h"
 
 namespace stage::serve {
@@ -80,6 +82,12 @@ class PredictionService final : public core::ExecTimePredictor {
   void Observe(const core::QueryContext& query, double exec_seconds) override;
   std::string_view name() const override { return "StageServe"; }
 
+  // Predict with the routing decision recorded into `trace` (same contract
+  // as StagePredictor::PredictTraced, plus the cache shard the key mapped
+  // to). `trace` may be null, degrading to Predict.
+  core::Prediction PredictTraced(const core::QueryContext& query,
+                                 obs::PredictionTrace* trace) const;
+
   // Blocks until no retraining is pending or in flight. Test/shutdown sync
   // point; never needed on the serving path.
   void WaitForRetrain();
@@ -128,6 +136,9 @@ class PredictionService final : public core::ExecTimePredictor {
   size_t LocalMemoryBytes() const;
 
  private:
+  core::Prediction PredictImpl(const core::QueryContext& query,
+                               obs::PredictionTrace* trace) const;
+  void RegisterMetrics();
   void RetrainLoop();
   void TrainOnce();
   void PublishModel(std::shared_ptr<const local::LocalModel> fresh);
@@ -172,6 +183,11 @@ class PredictionService final : public core::ExecTimePredictor {
       source_counts_{};
   mutable metrics::LatencyRecorder predict_latency_{
       core::kNumPredictionSources};
+  // Hot-path metric handles, resolved against options_.metrics when set
+  // (null members otherwise). The per-stage latency histograms come from
+  // predict_latency_, exposed via registry callbacks, so the RoutingMetricSet
+  // is created without its own latency family.
+  obs::RoutingMetricSet routing_metrics_;
 };
 
 }  // namespace stage::serve

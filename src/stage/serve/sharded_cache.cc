@@ -70,6 +70,19 @@ uint64_t ShardedExecTimeCache::evictions() const {
   return total;
 }
 
+ShardedExecTimeCache::ShardStats ShardedExecTimeCache::shard_stats(
+    size_t shard_index) const {
+  STAGE_CHECK(shard_index < shards_.size());
+  const Shard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  ShardStats stats;
+  stats.hits = shard.cache.hits();
+  stats.misses = shard.cache.misses();
+  stats.evictions = shard.cache.evictions();
+  stats.entries = shard.cache.size();
+  return stats;
+}
+
 size_t ShardedExecTimeCache::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {

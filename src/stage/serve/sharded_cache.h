@@ -67,6 +67,16 @@ class ShardedExecTimeCache {
   size_t size() const;
   size_t MemoryBytes() const;
 
+  // Consistent point-in-time view of one shard's telemetry, taken under
+  // that shard's lock (per-shard metrics exposition).
+  struct ShardStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+  ShardStats shard_stats(size_t shard_index) const;
+
   // Checkpointing. Save serializes shard-by-shard, holding only one shard
   // lock at a time, so concurrent lookups on other shards never stall.
   // Load requires the same shard count (shard membership is key %

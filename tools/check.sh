@@ -2,8 +2,10 @@
 # Full verification gate: Release build + ASan + TSan, ctest on each, plus
 # an explicit run of the checkpoint corruption fault-injection suite under
 # ASan (truncations and bit flips must fail loads cleanly — no crash, no
-# OOM, no half-trained model). Run from anywhere; builds live next to the
-# source tree as build-check-{release,asan,tsan}.
+# OOM, no half-trained model), the pinned golden routing replay, and a
+# structural check of the stage_sim stats Prometheus exposition. Run from
+# anywhere; builds live next to the source tree as
+# build-check-{release,asan,tsan}.
 #
 # Usage: tools/check.sh [--fast]
 #   --fast  Release build + tests only (skip the sanitizer builds).
@@ -39,6 +41,21 @@ else
   grep -q '"speedup"' "${bench_json}"
 fi
 echo "=== bench JSON OK: ${bench_json} ==="
+
+# Observability gate (also in --fast): the pinned golden routing replay
+# must match, and the CLI's Prometheus exposition must actually look like
+# one (obs_test validates the renderer structurally; this catches the CLI
+# wiring).
+echo "=== [release] golden routing replay ==="
+"${repo_root}/build-check-release/tests/golden_routing_test"
+echo "=== [release] stage_sim stats exposition smoke ==="
+stats_out="$("${repo_root}/build-check-release/tools/stage_sim" stats \
+  --instances=1 --queries=300 --rounds=20 --members=2 --sync 2>/dev/null)"
+grep -q '^# TYPE stage_predictions_total counter$' <<< "${stats_out}"
+grep -q '^stage_cache_hits_total ' <<< "${stats_out}"
+grep -q '^stage_predict_latency_ns_bucket{stage="cache",le="250"} ' \
+  <<< "${stats_out}"
+echo "=== stats exposition OK ==="
 
 if [[ "${fast}" -eq 0 ]]; then
   build_and_test asan address

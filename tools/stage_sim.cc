@@ -10,6 +10,10 @@
 //   serve         Drive the concurrent PredictionService: one writer
 //                 replays the trace while N reader threads predict; prints
 //                 attribution, cache stats, and per-source latency/QPS.
+//   stats         Replay a trace through an instrumented PredictionService
+//                 and dump the full metrics registry (Prometheus text, or
+//                 JSON with --json). With --out the periodic checkpointer
+//                 runs too, so its snapshot metrics show up in the dump.
 //   snapshot      Replay the first --stop_after events of a trace through
 //                 a PredictionService and publish a crash-safe snapshot
 //                 (CRC-checked, atomic-rename) of the full predictor state.
@@ -26,10 +30,13 @@
 //   stage_sim snapshot --queries=2000 --stop_after=1000 --out=snap.bin
 //   stage_sim serve --queries=2000 --shards=1 --sync
 //       --restore_from=snap.bin --skip=1000
+//   stage_sim stats --queries=2000 --shards=4
+//   stage_sim serve --queries=2000 --metrics_out=metrics.prom
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -44,6 +51,7 @@
 #include "stage/global/global_model.h"
 #include "stage/metrics/error_metrics.h"
 #include "stage/metrics/report.h"
+#include "stage/obs/metrics.h"
 #include "stage/serve/prediction_service.h"
 #include "stage/wlm/trace_util.h"
 #include "stage/wlm/workload_manager.h"
@@ -56,16 +64,18 @@ const std::vector<std::string> kKnownFlags = {
     "instances", "queries",  "seed",        "csv",  "out",
     "global",    "members",  "rounds",      "help", "utilization",
     "short_slots", "long_slots", "threads", "shards", "sync",
-    "stop_after", "restore_from", "skip"};
+    "stop_after", "restore_from", "skip", "metrics_out", "json"};
 
 void PrintUsage() {
   std::printf(
-      "usage: stage_sim <trace|train-global|replay|wlm|serve|snapshot> "
+      "usage: stage_sim <trace|train-global|replay|wlm|serve|snapshot|stats> "
       "[flags]\n"
       "  common flags: --instances=N --queries=N --seed=N\n"
       "  trace:        --csv (per-query CSV to stdout)\n"
       "  train-global: --out=FILE (checkpoint path, default global.bin)\n"
       "  replay:       --global=FILE --members=K --rounds=R --csv\n"
+      "                --metrics_out=FILE (dump the metrics registry after "
+      "the replay)\n"
       "  wlm:          --global=FILE --utilization=U --short_slots=N "
       "--long_slots=N\n"
       "  serve:        --global=FILE --threads=N --shards=N --sync "
@@ -73,9 +83,33 @@ void PrintUsage() {
       "                --restore_from=FILE --skip=K (resume a snapshotted "
       "replay;\n"
       "                 --shards must match the snapshotting run)\n"
+      "                --metrics_out=FILE (dump the metrics registry after "
+      "the run)\n"
       "  snapshot:     --stop_after=K --out=FILE --shards=N (replay K "
       "events,\n"
-      "                 write a crash-safe full-state snapshot)\n");
+      "                 write a crash-safe full-state snapshot)\n"
+      "  stats:        replay through an instrumented service, dump the\n"
+      "                full registry to stdout (--json for the JSON dump;\n"
+      "                --out=FILE also runs the periodic checkpointer)\n"
+      "  --metrics_out=FILE writes Prometheus text exposition, or the JSON\n"
+      "  dump when FILE ends in .json\n");
+}
+
+// Writes the registry to `path`: Prometheus text exposition by default, the
+// JSON dump when the path ends in ".json".
+bool DumpMetrics(const obs::MetricsRegistry& registry,
+                 const std::string& path) {
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out || !(out << (json ? registry.RenderJson()
+                             : registry.RenderText()))) {
+    std::fprintf(stderr, "error: cannot write metrics to %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "[stage_sim] metrics written to %s (%s)\n",
+               path.c_str(), json ? "json" : "text exposition");
+  return true;
 }
 
 fleet::FleetConfig FleetFromFlags(const Flags& flags) {
@@ -190,18 +224,31 @@ int RunReplay(const Flags& flags) {
   if (csv) {
     std::printf("instance,query,actual,stage_pred,stage_source,autowlm_pred\n");
   }
+  const std::string metrics_out = flags.GetString("metrics_out", "");
+  obs::MetricsRegistry registry;
 
   std::vector<double> actual;
   std::vector<double> stage_pred;
   std::vector<double> autowlm_pred;
   for (int i = 0; i < generator.config().num_instances; ++i) {
     const fleet::InstanceTrace instance = generator.MakeInstanceTrace(i);
-    core::StagePredictor stage(
-        StageConfigFromFlags(flags),
-        {use_global ? &global_model : nullptr, &instance.config});
+    core::StagePredictorOptions options;
+    options.global_model = use_global ? &global_model : nullptr;
+    options.instance = &instance.config;
+    // Sequential per-instance predictors can share one registry: owned
+    // counters accumulate across instances, and each predictor's component
+    // callbacks unregister at destruction before the next one registers.
+    if (!metrics_out.empty()) options.metrics = &registry;
+    core::StagePredictor stage(StageConfigFromFlags(flags), options);
     core::AutoWlmPredictor autowlm{core::AutoWlmConfig{}};
     const auto stage_result = core::ReplayTrace(instance.trace, stage);
     const auto autowlm_result = core::ReplayTrace(instance.trace, autowlm);
+    // Dump while the last predictor is alive so its component state (cache
+    // fill, pool size) is still sampled by the render-time callbacks.
+    if (!metrics_out.empty() && i + 1 == generator.config().num_instances &&
+        !DumpMetrics(registry, metrics_out)) {
+      return 1;
+    }
     for (size_t q = 0; q < stage_result.records.size(); ++q) {
       actual.push_back(stage_result.records[q].actual_seconds);
       stage_pred.push_back(stage_result.records[q].predicted_seconds);
@@ -367,8 +414,13 @@ int RunServe(const Flags& flags) {
   config.predictor = StageConfigFromFlags(flags);
   config.cache_shards = static_cast<size_t>(flags.GetInt("shards", 8));
   config.async_retrain = !flags.GetBool("sync", false);
-  serve::PredictionService service(
-      config, {use_global ? &global_model : nullptr, &instance.config});
+  const std::string metrics_out = flags.GetString("metrics_out", "");
+  obs::MetricsRegistry registry;
+  core::StagePredictorOptions options;
+  options.global_model = use_global ? &global_model : nullptr;
+  options.instance = &instance.config;
+  if (!metrics_out.empty()) options.metrics = &registry;
+  serve::PredictionService service(config, options);
 
   // Warm restart: restore a snapshotted replay and continue at --skip.
   const std::string restore_from = flags.GetString("restore_from", "");
@@ -447,6 +499,66 @@ int RunServe(const Flags& flags) {
                                          PredictLatencySlotNames(),
                                      elapsed)
                         .c_str());
+  if (!metrics_out.empty() && !DumpMetrics(registry, metrics_out)) return 1;
+  return 0;
+}
+
+// stats: the observability one-stop. Replays one instance trace through a
+// fully instrumented PredictionService (plus, with --out, the periodic
+// checkpointer) and dumps every metric in the registry.
+int RunStats(const Flags& flags) {
+  global::GlobalModel global_model;
+  bool use_global = false;
+  if (!MaybeLoadGlobal(flags, &global_model, &use_global)) return 1;
+
+  fleet::FleetGenerator generator(FleetFromFlags(flags));
+  const fleet::InstanceTrace instance = generator.MakeInstanceTrace(0);
+
+  obs::MetricsRegistry registry;
+  serve::PredictionServiceConfig config;
+  config.predictor = StageConfigFromFlags(flags);
+  config.cache_shards = static_cast<size_t>(flags.GetInt("shards", 4));
+  config.async_retrain = !flags.GetBool("sync", false);
+  core::StagePredictorOptions options;
+  options.global_model = use_global ? &global_model : nullptr;
+  options.instance = &instance.config;
+  options.metrics = &registry;
+  serve::PredictionService service(config, options);
+
+  std::unique_ptr<ckpt::PeriodicCheckpointer> checkpointer;
+  const std::string snapshot_path = flags.GetString("out", "");
+  if (!snapshot_path.empty()) {
+    ckpt::PeriodicCheckpointer::Options ckpt_options;
+    ckpt_options.path = snapshot_path;
+    ckpt_options.interval = std::chrono::milliseconds(250);
+    ckpt_options.metrics = &registry;
+    checkpointer =
+        std::make_unique<ckpt::PeriodicCheckpointer>(service, ckpt_options);
+  }
+
+  for (size_t i = 0; i < instance.trace.size(); ++i) {
+    const fleet::QueryEvent& event = instance.trace[i];
+    const core::QueryContext context = core::MakeQueryContext(
+        event.plan, event.concurrent_queries,
+        static_cast<uint64_t>(event.arrival_ms));
+    service.Predict(context);
+    service.Observe(context, event.exec_seconds);
+  }
+  service.WaitForRetrain();
+  if (checkpointer != nullptr) {
+    std::string error;
+    if (!checkpointer->TriggerNow(&error)) {
+      std::fprintf(stderr, "warning: final snapshot failed: %s\n",
+                   error.c_str());
+    }
+    checkpointer->Stop();
+  }
+
+  const std::string metrics_out = flags.GetString("metrics_out", "");
+  if (!metrics_out.empty() && !DumpMetrics(registry, metrics_out)) return 1;
+  std::printf("%s", flags.GetBool("json", false)
+                        ? registry.RenderJson().c_str()
+                        : registry.RenderText().c_str());
   return 0;
 }
 
@@ -471,6 +583,7 @@ int main(int argc, char** argv) {
   if (command == "wlm") return RunWlm(flags);
   if (command == "serve") return RunServe(flags);
   if (command == "snapshot") return RunSnapshot(flags);
+  if (command == "stats") return RunStats(flags);
   std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
   PrintUsage();
   return 1;
