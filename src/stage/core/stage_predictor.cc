@@ -49,26 +49,22 @@ std::string StagePredictorConfig::Validate() const {
   return "";
 }
 
-namespace {
-
-// Mirrors the final routing outcome into the trace. The decision-record
-// flags are filled at the branch points in RouteHierarchical.
-inline void FinishTrace(obs::PredictionTrace* trace, const Prediction& out) {
+void CompleteTrace(obs::PredictionTrace* trace, const Prediction& out) {
   if (trace == nullptr) return;
   trace->stage = static_cast<obs::TraceStage>(out.source);
   trace->predicted_seconds = out.seconds;
   trace->uncertainty_log_std = out.uncertainty_log_std;
 }
 
-}  // namespace
-
-Prediction RouteHierarchical(const StagePredictorConfig& config,
-                             const QueryContext& query,
-                             std::optional<double> cached_seconds,
-                             const local::LocalModel* local,
-                             const global::GlobalModel* global_model,
-                             const fleet::InstanceConfig* instance,
-                             obs::PredictionTrace* trace) {
+Prediction RouteHierarchicalDeferred(const StagePredictorConfig& config,
+                                     const QueryContext& query,
+                                     std::optional<double> cached_seconds,
+                                     const local::LocalModel* local,
+                                     const global::GlobalModel* global_model,
+                                     const fleet::InstanceConfig* instance,
+                                     bool* needs_global,
+                                     obs::PredictionTrace* trace) {
+  *needs_global = false;
   Prediction out;
   if (trace != nullptr) {
     trace->short_running_threshold = config.short_running_seconds;
@@ -80,7 +76,7 @@ Prediction RouteHierarchical(const StagePredictorConfig& config,
     out.seconds = *cached_seconds;
     out.source = PredictionSource::kCache;
     if (trace != nullptr) trace->cache_hit = true;
-    FinishTrace(trace, out);
+    CompleteTrace(trace, out);
     return out;
   }
 
@@ -106,30 +102,47 @@ Prediction RouteHierarchical(const StagePredictorConfig& config,
       trace->confident = confident;
     }
     if (short_running || confident || !global_available) {
-      FinishTrace(trace, out);
+      CompleteTrace(trace, out);
       return out;
     }
     // Stage 3: the local model is uncertain about a long-running query.
-    out.seconds = global_model->PredictSeconds(*query.plan, *instance,
-                                               query.concurrent_queries);
+    // Seconds deferred to the caller's GlobalModel call; trace finishes
+    // once they are known.
     out.source = PredictionSource::kGlobal;
+    *needs_global = true;
     if (trace != nullptr) trace->escalated = true;
-    FinishTrace(trace, out);
     return out;
   }
 
   // Cold start: no local model yet. The transferable global model covers
   // new instances until enough local training data accumulates.
   if (global_available) {
-    out.seconds = global_model->PredictSeconds(*query.plan, *instance,
-                                               query.concurrent_queries);
     out.source = PredictionSource::kGlobal;
-    FinishTrace(trace, out);
+    *needs_global = true;
     return out;
   }
   out.seconds = kColdStartDefaultSeconds;
   out.source = PredictionSource::kDefault;
-  FinishTrace(trace, out);
+  CompleteTrace(trace, out);
+  return out;
+}
+
+Prediction RouteHierarchical(const StagePredictorConfig& config,
+                             const QueryContext& query,
+                             std::optional<double> cached_seconds,
+                             const local::LocalModel* local,
+                             const global::GlobalModel* global_model,
+                             const fleet::InstanceConfig* instance,
+                             obs::PredictionTrace* trace) {
+  bool needs_global = false;
+  Prediction out =
+      RouteHierarchicalDeferred(config, query, cached_seconds, local,
+                                global_model, instance, &needs_global, trace);
+  if (needs_global) {
+    out.seconds = global_model->PredictSeconds(*query.plan, *instance,
+                                               query.concurrent_queries);
+    CompleteTrace(trace, out);
+  }
   return out;
 }
 
@@ -224,6 +237,84 @@ Prediction StagePredictor::PredictTraced(const QueryContext& query,
   if (trace == nullptr) return Predict(query);
   const Prediction out = PredictImpl(query, trace);
   if (routing_metrics_.enabled()) routing_metrics_.Record(*trace);
+  return out;
+}
+
+std::vector<Prediction> StagePredictor::PredictBatch(
+    std::span<const QueryContext> queries) const {
+  std::vector<Prediction> out(queries.size());
+  if (queries.empty()) return out;
+  const bool traced = routing_metrics_.enabled();
+  std::vector<obs::PredictionTrace> traces(traced ? queries.size() : 0);
+
+  // Phase 1: cache + local routing per query; escalated queries defer
+  // their seconds instead of running the GCN inline.
+  std::vector<size_t> escalated;
+  std::vector<global::GlobalQuery> global_queries;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const QueryContext& query = queries[i];
+    bool needs_global = false;
+    if (!traced) {
+      out[i] = RouteHierarchicalDeferred(
+          config_, query, cache_.Predict(query.feature_hash), &local_,
+          options_.global_model, options_.instance, &needs_global);
+    } else {
+      obs::PredictionTrace& trace = traces[i];
+      const auto start = std::chrono::steady_clock::now();
+      const std::optional<double> cached = cache_.Predict(query.feature_hash);
+      const auto after_cache = std::chrono::steady_clock::now();
+      out[i] = RouteHierarchicalDeferred(config_, query, cached, &local_,
+                                         options_.global_model,
+                                         options_.instance, &needs_global,
+                                         &trace);
+      const auto end = std::chrono::steady_clock::now();
+      trace.cache_nanos = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(after_cache -
+                                                               start)
+              .count());
+      trace.route_nanos = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(end -
+                                                               after_cache)
+              .count());
+      trace.total_nanos = trace.cache_nanos + trace.route_nanos;
+    }
+    if (needs_global) {
+      escalated.push_back(i);
+      global_queries.push_back({query.plan, query.concurrent_queries});
+    }
+  }
+
+  // Phase 2: ONE batched global pass over every escalated query —
+  // bit-identical to per-query PredictSeconds (PredictBatch's contract).
+  if (!escalated.empty()) {
+    std::vector<double> seconds(escalated.size());
+    const auto start = std::chrono::steady_clock::now();
+    options_.global_model->PredictBatch(global_queries, *options_.instance,
+                                        seconds);
+    const auto end = std::chrono::steady_clock::now();
+    // Latency attribution: each escalated query carries an equal share of
+    // the batched pass (the per-query split inside one GEMM is unknowable).
+    const uint64_t share =
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+                .count()) /
+        escalated.size();
+    for (size_t j = 0; j < escalated.size(); ++j) {
+      const size_t i = escalated[j];
+      out[i].seconds = seconds[j];
+      if (traced) {
+        traces[i].route_nanos += share;
+        traces[i].total_nanos += share;
+        CompleteTrace(&traces[i], out[i]);
+      }
+    }
+  }
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    source_counts_[static_cast<int>(out[i].source)].fetch_add(
+        1, std::memory_order_relaxed);
+    if (traced) routing_metrics_.Record(traces[i]);
+  }
   return out;
 }
 

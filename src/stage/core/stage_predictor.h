@@ -79,6 +79,29 @@ Prediction RouteHierarchical(const StagePredictorConfig& config,
                              const fleet::InstanceConfig* instance,
                              obs::PredictionTrace* trace = nullptr);
 
+// Deferred variant for batch paths: identical routing decisions, but when
+// the query escalates to the global model it returns with out.source ==
+// kGlobal, out.seconds NOT yet computed, and *needs_global = true instead
+// of running the (relatively expensive) GCN inline per query. The caller
+// collects every such query, runs ONE GlobalModel::PredictBatch over them,
+// writes each prediction's seconds, and calls CompleteTrace on any trace it
+// passed. RouteHierarchical is a thin wrapper over this function, so the
+// two can never drift; the batched fill is bit-for-bit identical to the
+// inline call (GlobalModel::PredictBatch's contract).
+Prediction RouteHierarchicalDeferred(const StagePredictorConfig& config,
+                                     const QueryContext& query,
+                                     std::optional<double> cached_seconds,
+                                     const local::LocalModel* local,
+                                     const global::GlobalModel* global_model,
+                                     const fleet::InstanceConfig* instance,
+                                     bool* needs_global,
+                                     obs::PredictionTrace* trace = nullptr);
+
+// Mirrors a final routing outcome into `trace` (no-op when null). Batch
+// callers use it to finish the trace of a deferred-global query once the
+// batched prediction has filled in its seconds.
+void CompleteTrace(obs::PredictionTrace* trace, const Prediction& out);
+
 // The Stage predictor (§4): exec-time cache -> local Bayesian-ensemble
 // model -> fleet-trained global GCN.
 //
@@ -97,6 +120,16 @@ class StagePredictor final : public ExecTimePredictor {
   Prediction Predict(const QueryContext& query) const override;
   void Observe(const QueryContext& query, double exec_seconds) override;
   std::string_view name() const override { return "Stage"; }
+
+  // Batch prediction with the global-model fan-out batched: routing runs
+  // per query (cache + local model), every escalated query is collected,
+  // and ONE GlobalModel::PredictBatch computes their seconds in a single
+  // level-order pass. Results are bit-for-bit identical to calling Predict
+  // once per query, in order (the base-class contract); only the wall
+  // clock changes. Traced latency for escalated queries attributes an
+  // equal share of the batched global pass to each.
+  std::vector<Prediction> PredictBatch(
+      std::span<const QueryContext> queries) const override;
 
   // Predict with the routing decision recorded into `trace` (stage reached,
   // thresholds crossed, uncertainty, per-stage latency in ns). The traced

@@ -5,6 +5,7 @@
 
 #include "stage/common/macros.h"
 #include "stage/common/serialize.h"
+#include "stage/nn/tree_batch.h"
 
 namespace stage::global {
 
@@ -19,26 +20,38 @@ double HuberGrad(double r, double delta) {
   return r;
 }
 
+// log-space model output -> seconds (clamped to keep expm1 sane).
+double TargetToSeconds(double target) {
+  return std::max(0.0, std::expm1(std::clamp(target, 0.0, 14.0)));
+}
+
 }  // namespace
+
+void SystemFeaturesInto(const fleet::InstanceConfig& instance,
+                        const plan::Plan& plan, int concurrent_queries,
+                        float* out) {
+  std::fill(out, out + kSystemFeatureDim, 0.0f);
+  const int type_slot = static_cast<int>(instance.node_type);
+  STAGE_CHECK(type_slot <
+              static_cast<int>(fleet::NodeType::kNumNodeTypes));
+  out[type_slot] = 1.0f;
+  int i = static_cast<int>(fleet::NodeType::kNumNodeTypes);
+  out[i++] = Log1p(instance.num_nodes);
+  out[i++] = Log1p(instance.memory_gb);
+  out[i++] = Log1p(concurrent_queries);
+  // Plan summarization (§4.4: "a summarization of the query plan").
+  out[i++] = Log1p(plan.node_count());
+  out[i++] = Log1p(plan.Depth());
+  out[i++] = Log1p(plan.TotalEstimatedCost());
+  out[i++] = Log1p(plan.node(plan.root()).estimated_cardinality);
+  STAGE_CHECK(i == kSystemFeatureDim);
+}
 
 std::vector<float> SystemFeatures(const fleet::InstanceConfig& instance,
                                   const plan::Plan& plan,
                                   int concurrent_queries) {
   std::vector<float> features(kSystemFeatureDim, 0.0f);
-  const int type_slot = static_cast<int>(instance.node_type);
-  STAGE_CHECK(type_slot <
-              static_cast<int>(fleet::NodeType::kNumNodeTypes));
-  features[type_slot] = 1.0f;
-  int i = static_cast<int>(fleet::NodeType::kNumNodeTypes);
-  features[i++] = Log1p(instance.num_nodes);
-  features[i++] = Log1p(instance.memory_gb);
-  features[i++] = Log1p(concurrent_queries);
-  // Plan summarization (§4.4: "a summarization of the query plan").
-  features[i++] = Log1p(plan.node_count());
-  features[i++] = Log1p(plan.Depth());
-  features[i++] = Log1p(plan.TotalEstimatedCost());
-  features[i++] = Log1p(plan.node(plan.root()).estimated_cardinality);
-  STAGE_CHECK(i == kSystemFeatureDim);
+  SystemFeaturesInto(instance, plan, concurrent_queries, features.data());
   return features;
 }
 
@@ -59,10 +72,17 @@ GlobalExample MakeGlobalExample(const plan::Plan& plan,
 
 GlobalModel GlobalModel::Train(const std::vector<GlobalExample>& examples,
                                const GlobalModelConfig& config,
-                               double* val_mae_log) {
+                               double* val_mae_log, ThreadPool* pool) {
   STAGE_CHECK(!examples.empty());
   GlobalModel model;
   model.config_ = config;
+  // The pool only distributes GEMM tiles; every gradient element is
+  // accumulated by one owner in a fixed order (nn/gemm.h), and all dropout
+  // draws happen on this thread, so trained bytes are identical for every
+  // pool width and for the serial path.
+  ThreadPool* gemm_pool =
+      config.parallel_train ? (pool != nullptr ? pool : &ThreadPool::Shared())
+                            : nullptr;
 
   Rng rng(config.seed);
   nn::TreeGcn::Config gcn_config;
@@ -89,11 +109,18 @@ GlobalModel GlobalModel::Train(const std::vector<GlobalExample>& examples,
   std::vector<size_t> train_rows(order.begin() + num_val, order.end());
   STAGE_CHECK(!train_rows.empty());
 
-  const int concat_dim = config.hidden_dim + kSystemFeatureDim;
-  std::vector<float> concat(concat_dim);
-  std::vector<float> dconcat(concat_dim);
+  const int h = config.hidden_dim;
+  const int concat_dim = h + kSystemFeatureDim;
+  // Each minibatch runs as ONE forest: every example's plan tree goes into
+  // a shared TreeBatch and the whole batch moves through the GCN + head as
+  // two handfuls of GEMMs. All scratch below is reused across batches.
+  nn::TreeBatch batch;
   nn::TreeGcn::Workspace gcn_ws;
   nn::Mlp::Workspace head_ws;
+  std::vector<float> concat;
+  std::vector<float> douts;
+  std::vector<float> dconcat;
+  std::vector<float> droots;
 
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     train_rows = [&] {
@@ -110,32 +137,59 @@ GlobalModel GlobalModel::Train(const std::vector<GlobalExample>& examples,
     while (index < train_rows.size()) {
       const size_t batch_end = std::min(
           index + static_cast<size_t>(config.batch_size), train_rows.size());
-      const double batch_size = static_cast<double>(batch_end - index);
+      const int b = static_cast<int>(batch_end - index);
       model.gcn_.ZeroGrad();
       model.head_.ZeroGrad();
-      for (; index < batch_end; ++index) {
-        const GlobalExample& example = examples[train_rows[index]];
-        const int n = static_cast<int>(example.children.size());
-        const float* root = model.gcn_.Forward(
-            example.node_features.data(), n, example.children, &gcn_ws,
-            /*train=*/true, &rng);
-        std::copy(root, root + config.hidden_dim, concat.begin());
-        std::copy(example.system_features.begin(),
-                  example.system_features.end(),
-                  concat.begin() + config.hidden_dim);
-        const float* out =
-            model.head_.Forward(concat.data(), &head_ws, /*train=*/true,
-                                config.dropout, &rng);
-        const double residual = static_cast<double>(out[0]) - example.target;
-        const float dout =
-            static_cast<float>(HuberGrad(residual, config.huber_delta));
 
-        std::fill(dconcat.begin(), dconcat.end(), 0.0f);
-        model.head_.Backward(&dout, head_ws, dconcat.data());
-        model.gcn_.Backward(dconcat.data(), example.children, gcn_ws);
+      batch.Clear(plan::kNodeFeatureDim);
+      for (size_t r = index; r < batch_end; ++r) {
+        const GlobalExample& example = examples[train_rows[r]];
+        batch.AddTree(example.node_features.data(),
+                      static_cast<int>(example.children.size()),
+                      example.children);
       }
-      model.gcn_.Step(config.adam, batch_size);
-      model.head_.Step(config.adam, batch_size);
+      const float* roots =
+          model.gcn_.ForwardBatch(batch, &gcn_ws, /*train=*/true, &rng,
+                                  gemm_pool);
+      concat.resize(static_cast<size_t>(b) * concat_dim);
+      for (int r = 0; r < b; ++r) {
+        float* row = concat.data() + static_cast<size_t>(r) * concat_dim;
+        std::copy(roots + static_cast<size_t>(r) * h,
+                  roots + static_cast<size_t>(r + 1) * h, row);
+        const GlobalExample& example = examples[train_rows[index + r]];
+        std::copy(example.system_features.begin(),
+                  example.system_features.end(), row + h);
+      }
+      const float* out =
+          model.head_.ForwardBatch(concat.data(), b, &head_ws, /*train=*/true,
+                                   config.dropout, &rng, gemm_pool);
+
+      douts.resize(b);
+      for (int r = 0; r < b; ++r) {
+        const GlobalExample& example = examples[train_rows[index + r]];
+        const double residual =
+            static_cast<double>(out[r]) - example.target;
+        douts[r] =
+            static_cast<float>(HuberGrad(residual, config.huber_delta));
+      }
+
+      dconcat.assign(static_cast<size_t>(b) * concat_dim, 0.0f);
+      model.head_.BackwardBatch(douts.data(), head_ws, dconcat.data(),
+                                gemm_pool);
+      // Only the first h columns flow back into the GCN; the system slice
+      // is input, its gradient is discarded.
+      droots.resize(static_cast<size_t>(b) * h);
+      for (int r = 0; r < b; ++r) {
+        const float* src = dconcat.data() + static_cast<size_t>(r) * concat_dim;
+        std::copy(src, src + h, droots.data() + static_cast<size_t>(r) * h);
+      }
+      model.gcn_.BackwardBatch(droots.data(), batch, gcn_ws, gemm_pool);
+
+      model.gcn_.Step(config.adam,
+                      static_cast<double>(batch_end - index));
+      model.head_.Step(config.adam,
+                       static_cast<double>(batch_end - index));
+      index = batch_end;
     }
   }
   model.trained_ = true;
@@ -153,33 +207,112 @@ GlobalModel GlobalModel::Train(const std::vector<GlobalExample>& examples,
   return model;
 }
 
-double GlobalModel::ForwardTarget(const GlobalExample& example) const {
+// Per-thread inference scratch: every Predict* path builds its forest and
+// runs the workspaces in here, so const concurrent prediction is safe and
+// allocation-free once a thread has seen its largest batch.
+struct GlobalModel::Scratch {
+  nn::TreeBatch batch;
   nn::TreeGcn::Workspace gcn_ws;
   nn::Mlp::Workspace head_ws;
-  std::vector<float> concat(config_.hidden_dim + kSystemFeatureDim);
-  const int n = static_cast<int>(example.children.size());
-  const float* root = gcn_.Forward(example.node_features.data(), n,
-                                   example.children, &gcn_ws);
-  std::copy(root, root + config_.hidden_dim, concat.begin());
-  std::copy(example.system_features.begin(), example.system_features.end(),
-            concat.begin() + config_.hidden_dim);
-  const float* out = head_.Forward(concat.data(), &head_ws);
+  std::vector<float> node_features;
+  std::vector<float> system;  // [num_trees x kSystemFeatureDim].
+  std::vector<float> concat;  // [num_trees x (hidden + system)].
+};
+
+GlobalModel::Scratch& GlobalModel::TlsScratch() {
+  thread_local Scratch scratch;
+  return scratch;
+}
+
+const float* GlobalModel::ForwardPrepared(Scratch& scratch,
+                                          const float* system_rows,
+                                          ThreadPool* pool) const {
+  const int num_trees = scratch.batch.num_trees();
+  const int h = config_.hidden_dim;
+  const int concat_dim = h + kSystemFeatureDim;
+  const float* roots =
+      gcn_.ForwardBatch(scratch.batch, &scratch.gcn_ws, /*train=*/false,
+                        nullptr, pool);
+  scratch.concat.resize(static_cast<size_t>(num_trees) * concat_dim);
+  for (int t = 0; t < num_trees; ++t) {
+    float* row = scratch.concat.data() + static_cast<size_t>(t) * concat_dim;
+    std::copy(roots + static_cast<size_t>(t) * h,
+              roots + static_cast<size_t>(t + 1) * h, row);
+    std::copy(system_rows + static_cast<size_t>(t) * kSystemFeatureDim,
+              system_rows + static_cast<size_t>(t + 1) * kSystemFeatureDim,
+              row + h);
+  }
+  return head_.ForwardBatch(scratch.concat.data(), num_trees,
+                            &scratch.head_ws, /*train=*/false, 0.0f, nullptr,
+                            pool);
+}
+
+double GlobalModel::ForwardTarget(const GlobalExample& example) const {
+  Scratch& scratch = TlsScratch();
+  scratch.batch.Clear(plan::kNodeFeatureDim);
+  scratch.batch.AddTree(example.node_features.data(),
+                        static_cast<int>(example.children.size()),
+                        example.children);
+  STAGE_DCHECK(example.system_features.size() ==
+               static_cast<size_t>(kSystemFeatureDim));
+  const float* out =
+      ForwardPrepared(scratch, example.system_features.data(), nullptr);
   return static_cast<double>(out[0]);
 }
 
 double GlobalModel::PredictSecondsFromExample(
     const GlobalExample& example) const {
   STAGE_CHECK(trained_);
-  const double target = std::clamp(ForwardTarget(example), 0.0, 14.0);
-  return std::max(0.0, std::expm1(target));
+  return TargetToSeconds(ForwardTarget(example));
 }
 
 double GlobalModel::PredictSeconds(const plan::Plan& plan,
                                    const fleet::InstanceConfig& instance,
                                    int concurrent_queries) const {
-  const GlobalExample example =
-      MakeGlobalExample(plan, instance, concurrent_queries, 0.0);
-  return PredictSecondsFromExample(example);
+  STAGE_CHECK(trained_);
+  Scratch& scratch = TlsScratch();
+  scratch.batch.Clear(plan::kNodeFeatureDim);
+  plan::NodeFeaturesInto(plan, &scratch.node_features);
+  scratch.batch.AddTree(
+      scratch.node_features.data(), plan.node_count(),
+      [&plan](int32_t i) -> const std::vector<int32_t>& {
+        return plan.node(i).children;
+      });
+  scratch.system.resize(kSystemFeatureDim);
+  SystemFeaturesInto(instance, plan, concurrent_queries,
+                     scratch.system.data());
+  const float* out = ForwardPrepared(scratch, scratch.system.data(), nullptr);
+  return TargetToSeconds(static_cast<double>(out[0]));
+}
+
+void GlobalModel::PredictBatch(std::span<const GlobalQuery> queries,
+                               const fleet::InstanceConfig& instance,
+                               std::span<double> out_seconds,
+                               ThreadPool* pool) const {
+  STAGE_CHECK(trained_);
+  STAGE_CHECK(queries.size() == out_seconds.size());
+  if (queries.empty()) return;
+  Scratch& scratch = TlsScratch();
+  scratch.batch.Clear(plan::kNodeFeatureDim);
+  scratch.system.resize(queries.size() *
+                        static_cast<size_t>(kSystemFeatureDim));
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const plan::Plan* plan = queries[q].plan;
+    STAGE_CHECK(plan != nullptr);
+    plan::NodeFeaturesInto(*plan, &scratch.node_features);
+    scratch.batch.AddTree(
+        scratch.node_features.data(), plan->node_count(),
+        [plan](int32_t i) -> const std::vector<int32_t>& {
+          return plan->node(i).children;
+        });
+    SystemFeaturesInto(instance, *plan, queries[q].concurrent_queries,
+                       scratch.system.data() +
+                           q * static_cast<size_t>(kSystemFeatureDim));
+  }
+  const float* out = ForwardPrepared(scratch, scratch.system.data(), pool);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    out_seconds[q] = TargetToSeconds(static_cast<double>(out[q]));
+  }
 }
 
 size_t GlobalModel::MemoryBytes() const {

@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <istream>
 #include <ostream>
+#include <span>
 #include <vector>
 
 #include "stage/common/rng.h"
+#include "stage/common/thread_pool.h"
 #include "stage/fleet/instance.h"
 #include "stage/nn/mlp.h"
 #include "stage/nn/tree_gcn.h"
@@ -27,6 +29,12 @@ std::vector<float> SystemFeatures(const fleet::InstanceConfig& instance,
                                   const plan::Plan& plan,
                                   int concurrent_queries);
 
+// Same, written into `out` (exactly kSystemFeatureDim floats) — the
+// allocation-free form the serving path uses.
+void SystemFeaturesInto(const fleet::InstanceConfig& instance,
+                        const plan::Plan& plan, int concurrent_queries,
+                        float* out);
+
 // One prepared training example (featurized once, reused every epoch).
 struct GlobalExample {
   std::vector<float> node_features;  // [n x kNodeFeatureDim].
@@ -38,6 +46,13 @@ struct GlobalExample {
 GlobalExample MakeGlobalExample(const plan::Plan& plan,
                                 const fleet::InstanceConfig& instance,
                                 int concurrent_queries, double exec_seconds);
+
+// One inference request for PredictBatch: the (plan, concurrency) pair of
+// PredictSeconds, featurized inside the batch call.
+struct GlobalQuery {
+  const plan::Plan* plan = nullptr;
+  int concurrent_queries = 0;
+};
 
 struct GlobalModelConfig {
   // Architecture. The paper trains hidden 512 x 8 layers on GPUs; the CPU
@@ -56,30 +71,57 @@ struct GlobalModelConfig {
   uint64_t seed = 7;
   // When > 0, hold out this fraction for a validation metric.
   double validation_fraction = 0.1;
+
+  // Fan each minibatch's GEMMs out across a thread pool (the `pool`
+  // argument of Train, ThreadPool::Shared() when unset). Gradient
+  // accumulation is tiled per output element, so trained bytes are
+  // IDENTICAL for every pool width and for the serial path (this flag
+  // off) — the flag is a scheduling choice, never a results choice.
+  bool parallel_train = true;
 };
 
 // Stage 3 (§4.4): the fleet-trained, instance-independent graph
 // convolutional network over physical plan trees.
+//
+// Thread-safety: all Predict* methods are const and keep their scratch in
+// thread-local arenas, so concurrent calls from any number of threads are
+// safe (and allocation-free once each thread's scratch has warmed up).
 class GlobalModel {
  public:
   GlobalModel() = default;
 
   // Trains on examples pooled across many instances. Returns the trained
   // model; `val_mae_log` (optional) receives the final held-out MAE in
-  // log space.
+  // log space. Minibatches run level-order batched over the whole forest
+  // (one GEMM per layer per transform); with config.parallel_train the
+  // GEMMs fan out on `pool` (ThreadPool::Shared() when null) with bytes
+  // identical to the serial path.
   static GlobalModel Train(const std::vector<GlobalExample>& examples,
                            const GlobalModelConfig& config,
-                           double* val_mae_log = nullptr);
+                           double* val_mae_log = nullptr,
+                           ThreadPool* pool = nullptr);
 
   bool trained() const { return trained_; }
 
   // Predicted exec-time in seconds for a (plan, instance, load) triple.
+  // Allocation-free once this thread's scratch is warm.
   double PredictSeconds(const plan::Plan& plan,
                         const fleet::InstanceConfig& instance,
                         int concurrent_queries) const;
 
   // Prediction from a prepared example (no refeaturization).
   double PredictSecondsFromExample(const GlobalExample& example) const;
+
+  // Batched PredictSeconds: featurizes every query once, then runs ONE
+  // level-order GCN pass over the whole forest and one batched head pass.
+  // out_seconds[i] is bit-for-bit identical to
+  // PredictSeconds(*queries[i].plan, instance, queries[i].concurrent_queries)
+  // for every batch size; `pool` only fans out the GEMMs. Requires
+  // out_seconds.size() == queries.size().
+  void PredictBatch(std::span<const GlobalQuery> queries,
+                    const fleet::InstanceConfig& instance,
+                    std::span<double> out_seconds,
+                    ThreadPool* pool = nullptr) const;
 
   size_t MemoryBytes() const;
 
@@ -90,7 +132,16 @@ class GlobalModel {
   bool Load(std::istream& in);
 
  private:
+  struct Scratch;  // Per-thread inference scratch (global_model.cc).
+  static Scratch& TlsScratch();
+
   double ForwardTarget(const GlobalExample& example) const;
+  // Shared tail of every predict path: with scratch.batch built, runs the
+  // batched GCN + head in eval mode and returns the head output
+  // [num_trees x 1] inside scratch. `system_rows` is
+  // [num_trees x kSystemFeatureDim].
+  const float* ForwardPrepared(Scratch& scratch, const float* system_rows,
+                               ThreadPool* pool) const;
 
   GlobalModelConfig config_;
   nn::TreeGcn gcn_;

@@ -1,0 +1,197 @@
+#include "stage/nn/gemm.h"
+
+#include <algorithm>
+
+#include "stage/common/macros.h"
+
+namespace stage::nn {
+
+namespace {
+
+// Arena chunks are at least this large so tiny allocations (per-layer mask
+// buffers, single-row activations) coalesce instead of fragmenting.
+constexpr size_t kMinChunkFloats = 4096;
+
+// Rows processed per block: the fan-out unit for pool parallelism. The
+// value never affects results (see gemm.h).
+constexpr int kRowBlock = 64;
+
+// Output columns accumulated per register block in the forward kernel.
+constexpr int kOutBlock = 16;
+
+// One forward row: y = x * wt + bias with wt pre-transposed [in x out].
+//
+// Why this is fast where the naive loop is not: the naive per-output dot
+// product walks a W row with a single serial float chain the compiler must
+// not reassociate. Here a block of kOutBlock output accumulators lives in
+// registers; each k-step broadcasts x[k] and adds x[k] * wt[k][o..] — SIMD
+// across the independent output columns (contiguous in wt) while each
+// individual acc[o] still starts at the bias and sums k in the naive
+// order. No row packing is needed, so the kernel has no warm-up cost and
+// stays fast even for one-row (single plan) calls.
+void ForwardRow(int out_dim, int in_dim, const float* x, const float* wt,
+                const float* bias, float* y) {
+  int o0 = 0;
+  for (; o0 + kOutBlock <= out_dim; o0 += kOutBlock) {
+    float acc[kOutBlock];
+    if (bias != nullptr) {
+      for (int j = 0; j < kOutBlock; ++j) acc[j] = bias[o0 + j];
+    } else {
+      for (int j = 0; j < kOutBlock; ++j) acc[j] = 0.0f;
+    }
+    const float* wk = wt + o0;
+    for (int k = 0; k < in_dim; ++k, wk += out_dim) {
+      const float xk = x[k];
+      for (int j = 0; j < kOutBlock; ++j) acc[j] += xk * wk[j];
+    }
+    for (int j = 0; j < kOutBlock; ++j) y[o0 + j] = acc[j];
+  }
+  if (o0 < out_dim) {
+    const int tail = out_dim - o0;
+    float acc[kOutBlock];
+    for (int j = 0; j < tail; ++j) {
+      acc[j] = bias != nullptr ? bias[o0 + j] : 0.0f;
+    }
+    const float* wk = wt + o0;
+    for (int k = 0; k < in_dim; ++k, wk += out_dim) {
+      const float xk = x[k];
+      for (int j = 0; j < tail; ++j) acc[j] += xk * wk[j];
+    }
+    for (int j = 0; j < tail; ++j) y[o0 + j] = acc[j];
+  }
+}
+
+// One input-gradient row block: dx rows [row0, ...) += dy * W. For a fixed
+// o the update is a saxpy of the contiguous weight row into the contiguous
+// dx row — SIMD across in_dim — and o ascends in the outer loop, so each
+// dx element accumulates its o-terms in the naive order.
+void GradInputBlock(int block_rows, int out_dim, int in_dim, const float* dy,
+                    const float* w, float* dx) {
+  for (int o = 0; o < out_dim; ++o) {
+    const float* wo = w + static_cast<size_t>(o) * in_dim;
+    for (int r = 0; r < block_rows; ++r) {
+      const float g = dy[static_cast<size_t>(r) * out_dim + o];
+      if (g == 0.0f) continue;  // ReLU/dropout zeros are common; skip like
+                                // the naive backward does.
+      float* dxr = dx + static_cast<size_t>(r) * in_dim;
+      for (int i = 0; i < in_dim; ++i) dxr[i] += g * wo[i];
+    }
+  }
+}
+
+// Parameter gradients for output slots [o0, o1): each dw row and db entry
+// is owned entirely by this call, accumulating batch rows in ascending
+// order with the naive g == 0 skip. The inner saxpy (contiguous x row into
+// contiguous dw row) is the SIMD axis.
+void GradParamsRange(int o0, int o1, int rows, int out_dim, int in_dim,
+                     const float* x, const float* dy, float* dw, float* db) {
+  for (int o = o0; o < o1; ++o) {
+    float* dwo = dw + static_cast<size_t>(o) * in_dim;
+    for (int r = 0; r < rows; ++r) {
+      const float g = dy[static_cast<size_t>(r) * out_dim + o];
+      if (g == 0.0f) continue;
+      db[o] += g;
+      const float* xr = x + static_cast<size_t>(r) * in_dim;
+      for (int i = 0; i < in_dim; ++i) dwo[i] += g * xr[i];
+    }
+  }
+}
+
+// Runs `fn(block)` for every row block, fanning out on the pool when it is
+// worth it. Blocks touch disjoint output rows, so scheduling never affects
+// results.
+template <typename Fn>
+void ForEachRowBlock(int rows, ThreadPool* pool, Fn&& fn) {
+  const int blocks = (rows + kRowBlock - 1) / kRowBlock;
+  if (pool != nullptr && blocks > 1) {
+    pool->ParallelFor(static_cast<size_t>(blocks),
+                      [&fn](size_t block) { fn(static_cast<int>(block)); });
+  } else {
+    for (int block = 0; block < blocks; ++block) fn(block);
+  }
+}
+
+}  // namespace
+
+float* Arena::Alloc(size_t n) {
+  if (n == 0) return nullptr;
+  while (chunk_index_ < chunks_.size() &&
+         chunks_[chunk_index_].size() - used_ < n) {
+    ++chunk_index_;
+    used_ = 0;
+  }
+  if (chunk_index_ == chunks_.size()) {
+    chunks_.emplace_back(std::max(n, kMinChunkFloats));
+    used_ = 0;
+  }
+  float* out = chunks_[chunk_index_].data() + used_;
+  used_ += n;
+  return out;
+}
+
+float* Arena::AllocZeroed(size_t n) {
+  float* out = Alloc(n);
+  std::fill(out, out + n, 0.0f);
+  return out;
+}
+
+void Arena::Reset() {
+  chunk_index_ = 0;
+  used_ = 0;
+}
+
+size_t Arena::CapacityFloats() const {
+  size_t total = 0;
+  for (const std::vector<float>& chunk : chunks_) total += chunk.size();
+  return total;
+}
+
+void GemmBias(int rows, int out_dim, int in_dim, const float* x,
+              const float* wt, const float* bias, float* y,
+              ThreadPool* pool) {
+  STAGE_DCHECK(rows >= 0 && out_dim > 0 && in_dim > 0);
+  ForEachRowBlock(rows, pool, [&](int block) {
+    const int row0 = block * kRowBlock;
+    const int block_rows = std::min(kRowBlock, rows - row0);
+    for (int r = 0; r < block_rows; ++r) {
+      ForwardRow(out_dim, in_dim,
+                 x + static_cast<size_t>(row0 + r) * in_dim, wt, bias,
+                 y + static_cast<size_t>(row0 + r) * out_dim);
+    }
+  });
+}
+
+void GemmGradInput(int rows, int out_dim, int in_dim, const float* dy,
+                   const float* w, float* dx, ThreadPool* pool) {
+  STAGE_DCHECK(rows >= 0 && out_dim > 0 && in_dim > 0);
+  ForEachRowBlock(rows, pool, [&](int block) {
+    const int row0 = block * kRowBlock;
+    const int block_rows = std::min(kRowBlock, rows - row0);
+    GradInputBlock(block_rows, out_dim, in_dim,
+                   dy + static_cast<size_t>(row0) * out_dim, w,
+                   dx + static_cast<size_t>(row0) * in_dim);
+  });
+}
+
+void GemmGradParams(int rows, int out_dim, int in_dim, const float* x,
+                    const float* dy, float* dw, float* db, ThreadPool* pool) {
+  STAGE_DCHECK(rows >= 0 && out_dim > 0 && in_dim > 0);
+  // Fan out over output slots (disjoint dw rows / db entries). Layers here
+  // are narrow (out_dim <= 64), so tasks take small slot groups — each one
+  // still owns its dw rows outright, it just re-streams the shared x/dy.
+  constexpr int kSlotBlock = 8;
+  const int blocks = (out_dim + kSlotBlock - 1) / kSlotBlock;
+  const auto run = [&](int block) {
+    const int o0 = block * kSlotBlock;
+    const int o1 = std::min(out_dim, o0 + kSlotBlock);
+    GradParamsRange(o0, o1, rows, out_dim, in_dim, x, dy, dw, db);
+  };
+  if (pool != nullptr && blocks > 1) {
+    pool->ParallelFor(static_cast<size_t>(blocks),
+                      [&run](size_t block) { run(static_cast<int>(block)); });
+  } else {
+    for (int block = 0; block < blocks; ++block) run(block);
+  }
+}
+
+}  // namespace stage::nn

@@ -1,0 +1,78 @@
+#ifndef STAGE_NN_GEMM_H_
+#define STAGE_NN_GEMM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stage/common/thread_pool.h"
+
+namespace stage::nn {
+
+// Dense kernels for the neural hot paths (the batched counterparts of
+// Linear::Forward/Backward), plus the scratch arena every nn workspace is
+// built on.
+//
+// Bit-exactness contract: for every output element, terms are accumulated
+// in exactly the order the naive per-row loops use — the accumulator starts
+// at the bias and products are added in ascending k — so results are
+// bit-for-bit identical to Linear::Forward/Backward no matter the batch
+// size, the row-block size, or how many pool threads execute. The kernels
+// get their speed from vectorizing ACROSS independent output elements
+// (rows/columns), never from reassociating a single element's reduction.
+// That also makes parallel training deterministic for free: each output
+// element is computed wholly by one claimer in a fixed order, so pool
+// widths 1/2/8/serial produce identical bytes.
+
+// A reusable bump allocator for forward/backward scratch. Allocations are
+// served from a chunk list that only grows until the call pattern has been
+// seen once; after that warm-up, Reset() + the same Alloc sequence touches
+// the allocator's existing chunks and performs zero heap allocations.
+// Chunks never move, so pointers handed out stay valid until Reset().
+class Arena {
+ public:
+  // Returns an uninitialized buffer of `n` floats (nullptr when n == 0),
+  // valid until the next Reset().
+  float* Alloc(size_t n);
+  // Returns a zero-filled buffer of `n` floats.
+  float* AllocZeroed(size_t n);
+  // Rewinds to empty, keeping every chunk's capacity.
+  void Reset();
+
+  size_t CapacityFloats() const;
+
+ private:
+  std::vector<std::vector<float>> chunks_;
+  size_t chunk_index_ = 0;
+  size_t used_ = 0;  // Floats consumed in chunks_[chunk_index_].
+};
+
+// y [rows x out_dim] = x [rows x in_dim] * wt + bias, with wt the
+// PRE-TRANSPOSED weight panel [in_dim x out_dim] (Linear keeps it in sync
+// with its row-major W) and bias [out_dim] (may be null for no bias). Each
+// row of y equals Linear::Forward on the matching row of x, bit for bit:
+// the kernel broadcasts x[k] and accumulates into a register block of
+// output columns, so each output element still sums bias-first in
+// ascending k while the contiguous wt row provides the SIMD axis — fast
+// even for single-row (one plan) calls. Row blocks fan out on `pool` when
+// provided.
+void GemmBias(int rows, int out_dim, int in_dim, const float* x,
+              const float* wt, const float* bias, float* y,
+              ThreadPool* pool = nullptr);
+
+// dx [rows x in_dim] += dy [rows x out_dim] * W, the input-gradient half of
+// Linear::Backward. Skips zero dy elements like the naive loop; per-element
+// contributions are added in ascending o. Row blocks fan out on `pool`.
+void GemmGradInput(int rows, int out_dim, int in_dim, const float* dy,
+                   const float* w, float* dx, ThreadPool* pool = nullptr);
+
+// dw [out_dim x in_dim] += dy^T * x and db [out_dim] += column sums of dy,
+// the parameter-gradient half of Linear::Backward. Contributions are added
+// in ascending row order per element; output rows (one per out_dim slot)
+// fan out on `pool`, so every dw/db element is owned by exactly one lane.
+void GemmGradParams(int rows, int out_dim, int in_dim, const float* x,
+                    const float* dy, float* dw, float* db,
+                    ThreadPool* pool = nullptr);
+
+}  // namespace stage::nn
+
+#endif  // STAGE_NN_GEMM_H_

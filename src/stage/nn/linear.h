@@ -6,12 +6,18 @@
 #include <vector>
 
 #include "stage/common/rng.h"
+#include "stage/common/thread_pool.h"
 #include "stage/nn/param.h"
 
 namespace stage::nn {
 
 // A fully connected layer y = W x + b with manual backward. Gradients are
 // accumulated into the Params; callers drive ZeroGrad/Step around batches.
+//
+// Forward/Backward are the naive single-example reference loops;
+// ForwardBatch/BackwardBatch run the blocked GEMM kernels (nn/gemm.h) over
+// whole batches and are bit-for-bit identical per row (the kernels keep
+// each output element's naive accumulation order — see gemm.h).
 class Linear {
  public:
   Linear() = default;
@@ -24,9 +30,20 @@ class Linear {
   // y (out_dim) = W x (in_dim) + b.
   void Forward(const float* x, float* y) const;
 
+  // y [rows x out_dim] = x [rows x in_dim] W^T + b. Row blocks fan out on
+  // `pool` when provided; results never depend on it.
+  void ForwardBatch(const float* x, int rows, float* y,
+                    ThreadPool* pool = nullptr) const;
+
   // Accumulates parameter gradients from (x, dy) and, when dx != nullptr,
   // adds W^T dy into dx (dx must be pre-initialized by the caller).
   void Backward(const float* x, const float* dy, float* dx);
+
+  // Batched Backward over rows examples (x [rows x in_dim], dy
+  // [rows x out_dim], dx [rows x in_dim] or null). Gradient accumulation is
+  // tiled so bytes are identical for any pool width, including none.
+  void BackwardBatch(const float* x, const float* dy, int rows, float* dx,
+                     ThreadPool* pool = nullptr);
 
   void ZeroGrad();
   void Step(const AdamConfig& config, double grad_divisor);
@@ -35,10 +52,18 @@ class Linear {
   size_t MemoryBytes() const { return w_.MemoryBytes() + b_.MemoryBytes(); }
 
  private:
+  // Rebuilds wt_ from w_. Called from every mutation point (Init / Load /
+  // Step) so const Forward paths can read wt_ concurrently without locks.
+  void RefreshTransposed();
+
   int in_dim_ = 0;
   int out_dim_ = 0;
   Param w_;  // Row-major [out_dim x in_dim].
   Param b_;  // [out_dim].
+  // W pre-transposed to [in_dim x out_dim]: the forward GEMM broadcasts
+  // x[k] against contiguous output columns (see gemm.h). Derived cache —
+  // never serialized, refreshed whenever w_ changes.
+  std::vector<float> wt_;
 };
 
 }  // namespace stage::nn

@@ -1,5 +1,7 @@
 #include "stage/nn/mlp.h"
 
+#include <algorithm>
+
 #include "stage/common/macros.h"
 #include "stage/common/serialize.h"
 
@@ -16,54 +18,79 @@ void Mlp::Init(const std::vector<int>& dims, Rng& rng) {
 
 const float* Mlp::Forward(const float* x, Workspace* ws, bool train,
                           float dropout, Rng* rng) const {
+  return ForwardBatch(x, /*rows=*/1, ws, train, dropout, rng);
+}
+
+const float* Mlp::ForwardBatch(const float* x, int rows, Workspace* ws,
+                               bool train, float dropout, Rng* rng,
+                               ThreadPool* pool) const {
   STAGE_CHECK(ws != nullptr);
+  STAGE_CHECK(rows > 0);
   const size_t num_layers = layers_.size();
-  ws->acts.resize(num_layers + 1);
-  ws->masks.assign(num_layers, {});
-  ws->acts[0].assign(x, x + dims_[0]);
+  const bool masked = train && dropout > 0.0f;
+  if (masked) STAGE_CHECK(rng != nullptr);
+
+  ws->arena.Reset();
+  ws->rows = rows;
+  ws->acts.assign(num_layers + 1, nullptr);
+  ws->masks.assign(num_layers, nullptr);
+  ws->acts[0] = ws->arena.Alloc(static_cast<size_t>(rows) * dims_[0]);
+  std::copy(x, x + static_cast<size_t>(rows) * dims_[0], ws->acts[0]);
 
   for (size_t l = 0; l < num_layers; ++l) {
-    ws->acts[l + 1].resize(dims_[l + 1]);
-    layers_[l].Forward(ws->acts[l].data(), ws->acts[l + 1].data());
+    const size_t count = static_cast<size_t>(rows) * dims_[l + 1];
+    ws->acts[l + 1] = ws->arena.Alloc(count);
+    layers_[l].ForwardBatch(ws->acts[l], rows, ws->acts[l + 1], pool);
     const bool hidden = l + 1 < num_layers;
     if (!hidden) break;
-    std::vector<float>& act = ws->acts[l + 1];
-    for (float& a : act) {
-      if (a < 0.0f) a = 0.0f;  // ReLU.
+    float* act = ws->acts[l + 1];
+    for (size_t i = 0; i < count; ++i) {
+      if (act[i] < 0.0f) act[i] = 0.0f;  // ReLU.
     }
-    if (train && dropout > 0.0f) {
-      STAGE_CHECK(rng != nullptr);
+    if (masked) {
+      // Masks are drawn on this thread in row-major element order: the rng
+      // stream — hence the trained model — never depends on the pool.
       const float scale = 1.0f / (1.0f - dropout);
-      std::vector<float>& mask = ws->masks[l];
-      mask.resize(act.size());
-      for (size_t i = 0; i < act.size(); ++i) {
+      float* mask = ws->arena.Alloc(count);
+      ws->masks[l] = mask;
+      for (size_t i = 0; i < count; ++i) {
         mask[i] = rng->NextBernoulli(dropout) ? 0.0f : scale;
         act[i] *= mask[i];
       }
     }
   }
-  return ws->acts.back().data();
+  return ws->acts[num_layers];
 }
 
 void Mlp::Backward(const float* dout, Workspace& ws, float* dx) {
+  BackwardBatch(dout, ws, dx);
+}
+
+void Mlp::BackwardBatch(const float* dout, Workspace& ws, float* dx,
+                        ThreadPool* pool) {
   const size_t num_layers = layers_.size();
   STAGE_CHECK(ws.acts.size() == num_layers + 1);
+  const int rows = ws.rows;
+  STAGE_CHECK(rows > 0);
 
-  std::vector<float> delta(dout, dout + dims_.back());
-  std::vector<float> dprev;
+  // Backward scratch comes from the same arena, *after* the forward's
+  // buffers; the arena is rewound by the next Forward.
+  float* delta = ws.arena.Alloc(static_cast<size_t>(rows) * dims_.back());
+  std::copy(dout, dout + static_cast<size_t>(rows) * dims_.back(), delta);
   for (size_t l = num_layers; l-- > 0;) {
-    dprev.assign(dims_[l], 0.0f);
-    layers_[l].Backward(ws.acts[l].data(), delta.data(), dprev.data());
+    float* dprev = ws.arena.AllocZeroed(static_cast<size_t>(rows) * dims_[l]);
+    layers_[l].BackwardBatch(ws.acts[l], delta, rows, dprev, pool);
     if (l > 0) {
       // Backprop through the hidden ReLU (+ dropout) of layer l-1. A zero
       // activation means either ReLU cut it or dropout dropped it; both
       // zero the gradient. A surviving dropout unit re-applies its scale.
-      const std::vector<float>& act = ws.acts[l];
-      const std::vector<float>& mask = ws.masks[l - 1];
-      for (int i = 0; i < dims_[l]; ++i) {
+      const float* act = ws.acts[l];
+      const float* mask = ws.masks[l - 1];
+      const size_t count = static_cast<size_t>(rows) * dims_[l];
+      for (size_t i = 0; i < count; ++i) {
         if (act[i] <= 0.0f) {
           dprev[i] = 0.0f;
-        } else if (!mask.empty()) {
+        } else if (mask != nullptr) {
           dprev[i] *= mask[i];  // mask holds 0 or the inverted-dropout scale.
         }
       }
@@ -71,7 +98,8 @@ void Mlp::Backward(const float* dout, Workspace& ws, float* dx) {
     delta = dprev;
   }
   if (dx != nullptr) {
-    for (int i = 0; i < dims_[0]; ++i) dx[i] += delta[i];
+    const size_t count = static_cast<size_t>(rows) * dims_[0];
+    for (size_t i = 0; i < count; ++i) dx[i] += delta[i];
   }
 }
 

@@ -1,5 +1,8 @@
 #include "stage/nn/tree_gcn.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "stage/common/macros.h"
 #include "stage/common/serialize.h"
 
@@ -25,112 +28,158 @@ const float* TreeGcn::Forward(
     bool train, Rng* rng) const {
   STAGE_CHECK(ws != nullptr);
   STAGE_CHECK(num_nodes > 0);
-  STAGE_CHECK(static_cast<int>(children.size()) == num_nodes);
-  const int num_layers = config_.num_layers;
-  const int h = config_.hidden_dim;
-
-  ws->num_nodes = num_nodes;
-  ws->acts.resize(num_layers + 1);
-  ws->aggs.resize(num_layers);
-  ws->masks.assign(num_layers, {});
-  ws->acts[0].assign(node_features,
-                     node_features + static_cast<size_t>(num_nodes) *
-                                         config_.input_dim);
-
-  std::vector<float> z(h);
-  std::vector<float> child_part(h);
-  for (int l = 0; l < num_layers; ++l) {
-    const int in_dim = LayerInDim(l);
-    const std::vector<float>& in = ws->acts[l];
-    ws->aggs[l].assign(static_cast<size_t>(num_nodes) * in_dim, 0.0f);
-    ws->acts[l + 1].resize(static_cast<size_t>(num_nodes) * h);
-    if (train && config_.dropout > 0.0f) {
-      STAGE_CHECK(rng != nullptr);
-      ws->masks[l].resize(static_cast<size_t>(num_nodes) * h);
-    }
-
-    for (int i = 0; i < num_nodes; ++i) {
-      // Mean of children features from the previous layer.
-      float* agg = &ws->aggs[l][static_cast<size_t>(i) * in_dim];
-      if (!children[i].empty()) {
-        const float inv =
-            1.0f / static_cast<float>(children[i].size());
-        for (int32_t c : children[i]) {
-          const float* cf = &in[static_cast<size_t>(c) * in_dim];
-          for (int j = 0; j < in_dim; ++j) agg[j] += cf[j];
-        }
-        for (int j = 0; j < in_dim; ++j) agg[j] *= inv;
-      }
-
-      self_[l].Forward(&in[static_cast<size_t>(i) * in_dim], z.data());
-      child_[l].Forward(agg, child_part.data());
-      float* out = &ws->acts[l + 1][static_cast<size_t>(i) * h];
-      for (int j = 0; j < h; ++j) {
-        float v = z[j] + child_part[j];
-        v = v > 0.0f ? v : 0.0f;  // ReLU.
-        if (!ws->masks[l].empty()) {
-          const float scale = 1.0f / (1.0f - config_.dropout);
-          const float mask =
-              rng->NextBernoulli(config_.dropout) ? 0.0f : scale;
-          ws->masks[l][static_cast<size_t>(i) * h + j] = mask;
-          v *= mask;
-        }
-        out[j] = v;
-      }
-    }
-  }
-  return &ws->acts[num_layers][0];  // Root is node 0.
+  ws->single.Clear(config_.input_dim);
+  ws->single.AddTree(node_features, num_nodes, children);
+  return ForwardBatch(ws->single, ws, train, rng);
 }
 
 void TreeGcn::Backward(const float* droot,
                        const std::vector<std::vector<int32_t>>& children,
                        Workspace& ws) {
+  STAGE_CHECK(static_cast<int>(children.size()) == ws.single.num_nodes());
+  BackwardBatch(droot, ws.single, ws);
+}
+
+const float* TreeGcn::ForwardBatch(const TreeBatch& batch, Workspace* ws,
+                                   bool train, Rng* rng,
+                                   ThreadPool* pool) const {
+  STAGE_CHECK(ws != nullptr);
+  STAGE_CHECK(batch.num_nodes() > 0);
+  STAGE_CHECK(batch.feature_dim() == config_.input_dim);
+  const int num_layers = config_.num_layers;
+  const int h = config_.hidden_dim;
+  const int n = batch.num_nodes();
+  const bool masked = train && config_.dropout > 0.0f;
+  if (masked) STAGE_CHECK(rng != nullptr);
+
+  ws->arena.Reset();
+  ws->num_nodes = n;
+  ws->acts.assign(num_layers + 1, nullptr);
+  ws->aggs.assign(num_layers, nullptr);
+  ws->masks.assign(num_layers, nullptr);
+  // The batch's gathered feature matrix IS layer 0 — read-only alias, no
+  // copy. (The arena must not be reset between a batch build and Backward,
+  // which Forward's structure guarantees.)
+  ws->acts[0] = const_cast<float*>(batch.features());
+
+  for (int l = 0; l < num_layers; ++l) {
+    const int in_dim = LayerInDim(l);
+    const float* in = ws->acts[l];
+    // Child aggregation: one streaming sweep. Each node's children occupy a
+    // contiguous slot range (tree_batch.h), appended in original child-list
+    // order, so every node's sum matches the naive walk term for term.
+    float* agg =
+        ws->arena.AllocZeroed(static_cast<size_t>(n) * in_dim);
+    ws->aggs[l] = agg;
+    for (int s = 0; s < n; ++s) {
+      const int32_t count = batch.child_count(s);
+      if (count == 0) continue;
+      const float inv = 1.0f / static_cast<float>(count);
+      float* row = agg + static_cast<size_t>(s) * in_dim;
+      const float* cf =
+          in + static_cast<size_t>(batch.child_start(s)) * in_dim;
+      for (int32_t c = 0; c < count; ++c, cf += in_dim) {
+        for (int j = 0; j < in_dim; ++j) row[j] += cf[j];
+      }
+      for (int j = 0; j < in_dim; ++j) row[j] *= inv;
+    }
+
+    // One GEMM per transform over every node of every tree: out = self(in),
+    // then out += child(agg) — the same z[j] + child_part[j] order as the
+    // naive walk.
+    float* out = ws->arena.Alloc(static_cast<size_t>(n) * h);
+    float* child_out = ws->arena.Alloc(static_cast<size_t>(n) * h);
+    ws->acts[l + 1] = out;
+    self_[l].ForwardBatch(in, n, out, pool);
+    child_[l].ForwardBatch(agg, n, child_out, pool);
+
+    const size_t count = static_cast<size_t>(n) * h;
+    if (masked) {
+      const float scale = 1.0f / (1.0f - config_.dropout);
+      float* mask = ws->arena.Alloc(count);
+      ws->masks[l] = mask;
+      // Mask draws happen here, serially, in slot-major order: the rng
+      // stream — hence the trained model — never depends on the pool.
+      for (size_t i = 0; i < count; ++i) {
+        float v = out[i] + child_out[i];
+        v = v > 0.0f ? v : 0.0f;  // ReLU.
+        const float m = rng->NextBernoulli(config_.dropout) ? 0.0f : scale;
+        mask[i] = m;
+        out[i] = v * m;
+      }
+    } else {
+      for (size_t i = 0; i < count; ++i) {
+        const float v = out[i] + child_out[i];
+        out[i] = v > 0.0f ? v : 0.0f;  // ReLU.
+      }
+    }
+  }
+
+  // Gather each tree's root row.
+  const int num_trees = batch.num_trees();
+  float* roots = ws->arena.Alloc(static_cast<size_t>(num_trees) * h);
+  ws->roots = roots;
+  const float* top = ws->acts[num_layers];
+  for (int t = 0; t < num_trees; ++t) {
+    const float* src = top + static_cast<size_t>(batch.root_slot(t)) * h;
+    std::copy(src, src + h, roots + static_cast<size_t>(t) * h);
+  }
+  return roots;
+}
+
+void TreeGcn::BackwardBatch(const float* droots, const TreeBatch& batch,
+                            Workspace& ws, ThreadPool* pool) {
   const int num_layers = config_.num_layers;
   const int h = config_.hidden_dim;
   const int n = ws.num_nodes;
-  STAGE_CHECK(static_cast<int>(children.size()) == n);
+  STAGE_CHECK(batch.num_nodes() == n);
   STAGE_CHECK(static_cast<int>(ws.acts.size()) == num_layers + 1);
 
-  // dL/d acts[num_layers]: only the root receives an external gradient.
-  std::vector<float> dcur(static_cast<size_t>(n) * h, 0.0f);
-  for (int j = 0; j < h; ++j) dcur[j] = droot[j];
+  // dL/d acts[num_layers]: only root slots receive an external gradient.
+  float* dcur = ws.arena.AllocZeroed(static_cast<size_t>(n) * h);
+  for (int t = 0; t < batch.num_trees(); ++t) {
+    const float* src = droots + static_cast<size_t>(t) * h;
+    float* dst = dcur + static_cast<size_t>(batch.root_slot(t)) * h;
+    std::copy(src, src + h, dst);
+  }
 
-  std::vector<float> dz(h);
-  std::vector<float> dagg;
-  std::vector<float> dprev;
+  float* dz = ws.arena.Alloc(static_cast<size_t>(n) * h);
   for (int l = num_layers; l-- > 0;) {
     const int in_dim = LayerInDim(l);
-    dprev.assign(static_cast<size_t>(n) * in_dim, 0.0f);
-    const std::vector<float>& act_out = ws.acts[l + 1];
-    const std::vector<float>& mask = ws.masks[l];
-    for (int i = 0; i < n; ++i) {
-      // Through dropout + ReLU.
-      bool any = false;
-      for (int j = 0; j < h; ++j) {
-        const size_t idx = static_cast<size_t>(i) * h + j;
-        float g = dcur[idx];
-        if (act_out[idx] <= 0.0f) {
-          g = 0.0f;  // ReLU cut it or dropout dropped it.
-        } else if (!mask.empty()) {
-          g *= mask[idx];
-        }
-        dz[j] = g;
-        any = any || g != 0.0f;
+    // Gate through dropout + ReLU into dz (dcur is reused below as the next
+    // layer's gradient buffer only after dprev replaces it).
+    const float* act_out = ws.acts[l + 1];
+    const float* mask = ws.masks[l];
+    const size_t count = static_cast<size_t>(n) * h;
+    for (size_t i = 0; i < count; ++i) {
+      float g = dcur[i];
+      if (act_out[i] <= 0.0f) {
+        g = 0.0f;  // ReLU cut it or dropout dropped it.
+      } else if (mask != nullptr) {
+        g *= mask[i];
       }
-      if (!any) continue;
+      dz[i] = g;
+    }
 
-      float* dself = &dprev[static_cast<size_t>(i) * in_dim];
-      self_[l].Backward(&ws.acts[l][static_cast<size_t>(i) * in_dim],
-                        dz.data(), dself);
-      dagg.assign(in_dim, 0.0f);
-      child_[l].Backward(&ws.aggs[l][static_cast<size_t>(i) * in_dim],
-                         dz.data(), dagg.data());
-      if (!children[i].empty()) {
-        const float inv = 1.0f / static_cast<float>(children[i].size());
-        for (int32_t c : children[i]) {
-          float* dchild = &dprev[static_cast<size_t>(c) * in_dim];
-          for (int j = 0; j < in_dim; ++j) dchild[j] += dagg[j] * inv;
-        }
+    float* dprev =
+        ws.arena.AllocZeroed(static_cast<size_t>(n) * in_dim);
+    float* dagg =
+        ws.arena.AllocZeroed(static_cast<size_t>(n) * in_dim);
+    self_[l].BackwardBatch(ws.acts[l], dz, n, dprev, pool);
+    child_[l].BackwardBatch(ws.aggs[l], dz, n, dagg, pool);
+
+    // Fan the child-mean gradient out to the children. Every node has at
+    // most one parent, so writes are disjoint; order is fixed (parent slots
+    // ascending), so bytes never depend on scheduling.
+    for (int s = 0; s < n; ++s) {
+      const int32_t cnt = batch.child_count(s);
+      if (cnt == 0) continue;
+      const float inv = 1.0f / static_cast<float>(cnt);
+      const float* da = dagg + static_cast<size_t>(s) * in_dim;
+      float* dchild =
+          dprev + static_cast<size_t>(batch.child_start(s)) * in_dim;
+      for (int32_t c = 0; c < cnt; ++c, dchild += in_dim) {
+        for (int j = 0; j < in_dim; ++j) dchild[j] += da[j] * inv;
       }
     }
     dcur = dprev;
@@ -176,6 +225,9 @@ bool TreeGcn::Load(std::istream& in) {
       num_layers > 256) {
     return false;
   }
+  // Reject corrupted dropout exactly like Init does: training with a NaN or
+  // out-of-range rate would silently poison every activation.
+  if (!(config.dropout >= 0.0f && config.dropout < 1.0f)) return false;
   config.input_dim = input_dim;
   config.hidden_dim = hidden_dim;
   config.num_layers = num_layers;

@@ -5,7 +5,10 @@
 #include <vector>
 
 #include "stage/common/rng.h"
+#include "stage/common/thread_pool.h"
+#include "stage/nn/gemm.h"
 #include "stage/nn/linear.h"
+#include "stage/nn/tree_batch.h"
 
 namespace stage::nn {
 
@@ -14,6 +17,14 @@ namespace stage::nn {
 // features with the mean of its children's features through two learned
 // linear maps, followed by ReLU (and dropout in training). After L layers
 // the root's representation summarizes the whole plan.
+//
+// Execution is level-order batched (see tree_batch.h): because layer l+1
+// activations depend only on layer-l activations, every layer runs as one
+// child-aggregation sweep plus exactly two GEMMs (self and child
+// transforms) over ALL nodes of ALL trees in the batch — instead of
+// 2 * num_nodes matrix-vector products. Results are bit-for-bit identical
+// to the naive per-node walk (the kernels keep each element's naive
+// accumulation order; aggregation sums children in their original order).
 class TreeGcn {
  public:
   struct Config {
@@ -23,17 +34,28 @@ class TreeGcn {
     float dropout = 0.2f;
   };
 
-  // Per-example scratch: activations for every layer, dropout masks, and
-  // child aggregates, kept for the backward pass.
+  // Scratch for a forward pass and its matching backward. Everything lives
+  // in one Arena rewound (not freed) per Forward, so repeated calls make
+  // zero heap allocations once warmed up to the largest batch seen.
   struct Workspace {
-    // acts[l]: layer-l features, row-major [n x dim_l] where dim_0 =
-    // input_dim and dim_{l>0} = hidden_dim.
-    std::vector<std::vector<float>> acts;
-    // aggs[l]: mean-of-children inputs to layer l, [n x dim_l].
-    std::vector<std::vector<float>> aggs;
-    // masks[l]: dropout multipliers for layer l outputs (empty in eval).
-    std::vector<std::vector<float>> masks;
+    Arena arena;
+    // acts[l]: layer-l activations, row-major [num_nodes x dim_l] in batch
+    // slot order, where dim_0 = input_dim and dim_{l>0} = hidden_dim.
+    // acts[0] aliases the batch's feature matrix (never written).
+    std::vector<float*> acts;
+    // aggs[l]: mean-of-children inputs to layer l, [num_nodes x dim_l].
+    std::vector<float*> aggs;
+    // masks[l]: dropout multipliers for layer l outputs (nullptr in eval).
+    std::vector<float*> masks;
+    // Root representations, [num_trees x hidden_dim].
+    float* roots = nullptr;
     int num_nodes = 0;
+
+    // Single-tree convenience batch used by Forward/Backward.
+    TreeBatch single;
+
+    // Heap floats retained across calls; stops growing once warm.
+    size_t CapacityFloats() const { return arena.CapacityFloats(); }
   };
 
   TreeGcn() = default;
@@ -41,6 +63,7 @@ class TreeGcn {
   void Init(const Config& config, Rng& rng);
 
   int hidden_dim() const { return config_.hidden_dim; }
+  int input_dim() const { return config_.input_dim; }
 
   // Runs message passing over a tree given per-node input features
   // (row-major [n x input_dim]) and each node's children indices.
@@ -50,10 +73,26 @@ class TreeGcn {
                        Workspace* ws, bool train = false,
                        Rng* rng = nullptr) const;
 
+  // Level-order batched forward over a whole forest. Returns the root
+  // representations, row-major [batch.num_trees() x hidden_dim], inside
+  // `ws`. Each tree's root row is bit-for-bit identical to Forward on that
+  // tree alone. Dropout masks are drawn serially on the calling thread in
+  // slot-major order, so results are independent of `pool` (which only
+  // fans out the GEMMs).
+  const float* ForwardBatch(const TreeBatch& batch, Workspace* ws,
+                            bool train = false, Rng* rng = nullptr,
+                            ThreadPool* pool = nullptr) const;
+
   // Accumulates parameter gradients given dL/d(root representation).
   void Backward(const float* droot,
                 const std::vector<std::vector<int32_t>>& children,
                 Workspace& ws);
+
+  // Batched backward: `droots` is [batch.num_trees() x hidden_dim] for the
+  // batch of the matching ForwardBatch. Gradient bytes are identical for
+  // any pool width, including none.
+  void BackwardBatch(const float* droots, const TreeBatch& batch,
+                     Workspace& ws, ThreadPool* pool = nullptr);
 
   void ZeroGrad();
   void Step(const AdamConfig& config, double grad_divisor);

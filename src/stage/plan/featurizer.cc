@@ -61,9 +61,16 @@ uint64_t HashFeatures(const PlanFeatures& features) {
 }
 
 std::vector<float> NodeFeatures(const Plan& plan) {
+  std::vector<float> features;
+  NodeFeaturesInto(plan, &features);
+  return features;
+}
+
+void NodeFeaturesInto(const Plan& plan, std::vector<float>* out) {
   STAGE_CHECK(!plan.empty());
   constexpr int kFormatSlots = static_cast<int>(S3Format::kNumFormats);
-  std::vector<float> features(
+  std::vector<float>& features = *out;
+  features.assign(
       static_cast<size_t>(plan.node_count()) * kNodeFeatureDim, 0.0f);
   for (int i = 0; i < plan.node_count(); ++i) {
     const PlanNode& node = plan.node(i);
@@ -77,7 +84,6 @@ std::vector<float> NodeFeatures(const Plan& plan) {
     row[kOperatorOneHotSlots + 3 + static_cast<int>(node.s3_format)] = 1.0f;
     row[kOperatorOneHotSlots + 3 + kFormatSlots] = Log1p(node.table_rows);
   }
-  return features;
 }
 
 }  // namespace stage::plan

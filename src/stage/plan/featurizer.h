@@ -42,6 +42,10 @@ inline constexpr int kNodeFeatureDim =
 // [node_count x kNodeFeatureDim], in plan-node order.
 std::vector<float> NodeFeatures(const Plan& plan);
 
+// Same, into a caller-owned buffer (resized to fit; capacity is reused, so
+// repeated featurization on the serving path allocates nothing once warm).
+void NodeFeaturesInto(const Plan& plan, std::vector<float>* out);
+
 }  // namespace stage::plan
 
 #endif  // STAGE_PLAN_FEATURIZER_H_

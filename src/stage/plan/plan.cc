@@ -16,7 +16,10 @@ Plan::Plan(QueryType query_type, std::vector<PlanNode> nodes)
 int Plan::Depth() const {
   if (nodes_.empty()) return 0;
   // Pre-order storage: a node's depth is known before its children's.
-  std::vector<int> depth(nodes_.size(), 1);
+  // Thread-local scratch: Depth() sits on the allocation-free predict hot
+  // path (global::SystemFeaturesInto calls it per query).
+  thread_local std::vector<int> depth;
+  depth.assign(nodes_.size(), 1);
   int max_depth = 1;
   for (size_t i = 0; i < nodes_.size(); ++i) {
     for (int32_t child : nodes_[i].children) {

@@ -185,31 +185,75 @@ std::vector<core::Prediction> PredictionService::PredictBatch(
   const std::shared_ptr<const local::LocalModel> local =
       local_model_snapshot();
   std::vector<core::Prediction> out(queries.size());
+  if (queries.empty()) return out;
   const bool traced = routing_metrics_.enabled();
-  const auto predict_one = [&](size_t i) {
+  std::vector<obs::PredictionTrace> traces(traced ? queries.size() : 0);
+  std::vector<uint64_t> phase1_nanos(queries.size(), 0);
+  // uint8_t, not bool: lanes write neighboring elements concurrently.
+  std::vector<uint8_t> needs_global(queries.size(), 0);
+
+  // Phase 1: cache + local routing. Escalated queries defer their seconds
+  // to ONE batched global pass below instead of running the GCN inline.
+  const auto route_one = [&](size_t i) {
     const core::QueryContext& query = queries[i];
     const auto query_start = std::chrono::steady_clock::now();
-    obs::PredictionTrace trace;
-    core::Prediction prediction = core::RouteHierarchical(
+    bool escalate = false;
+    out[i] = core::RouteHierarchicalDeferred(
         config_.predictor, query, cache_.Predict(query.feature_hash),
-        local.get(), options_.global_model, options_.instance,
-        traced ? &trace : nullptr);
-    source_counts_[static_cast<int>(prediction.source)].fetch_add(
-        1, std::memory_order_relaxed);
-    predict_latency_.Record(static_cast<size_t>(prediction.source),
-                            ElapsedNanos(query_start));
-    if (traced) routing_metrics_.Record(trace);
-    out[i] = prediction;
+        local.get(), options_.global_model, options_.instance, &escalate,
+        traced ? &traces[i] : nullptr);
+    needs_global[i] = escalate ? 1 : 0;
+    phase1_nanos[i] = ElapsedNanos(query_start);
   };
   if (queries.size() >= kParallelBatchThreshold) {
     // Safe to fan out: cache_.Predict only touches per-shard locks and
-    // atomic counters, the model snapshot is immutable, and the latency
-    // recorder is already shared by concurrent Predict callers. Each lane
-    // writes only its own out[i], so results match the sequential loop
-    // exactly (counters land in scheduling order, values are identical).
-    ThreadPool::Shared().ParallelFor(queries.size(), predict_one);
+    // atomic counters, the model snapshot is immutable, and each lane
+    // writes only its own slots, so results match the sequential loop
+    // exactly.
+    ThreadPool::Shared().ParallelFor(queries.size(), route_one);
   } else {
-    for (size_t i = 0; i < queries.size(); ++i) predict_one(i);
+    for (size_t i = 0; i < queries.size(); ++i) route_one(i);
+  }
+
+  // Phase 2: one level-order batched global pass over every escalation —
+  // bit-identical to per-query PredictSeconds (GlobalModel's contract).
+  std::vector<size_t> escalated;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (needs_global[i] != 0) escalated.push_back(i);
+  }
+  uint64_t global_share = 0;
+  if (!escalated.empty()) {
+    std::vector<global::GlobalQuery> global_queries;
+    global_queries.reserve(escalated.size());
+    for (size_t i : escalated) {
+      global_queries.push_back({queries[i].plan,
+                                queries[i].concurrent_queries});
+    }
+    std::vector<double> seconds(escalated.size());
+    const auto global_start = std::chrono::steady_clock::now();
+    options_.global_model->PredictBatch(
+        global_queries, *options_.instance, seconds,
+        escalated.size() > 1 ? &ThreadPool::Shared() : nullptr);
+    // Each escalated query carries an equal share of the batched pass (the
+    // per-query split inside one GEMM is unknowable).
+    global_share = ElapsedNanos(global_start) / escalated.size();
+    for (size_t j = 0; j < escalated.size(); ++j) {
+      out[escalated[j]].seconds = seconds[j];
+    }
+  }
+
+  // Counters, latency, and trace emission, in index order.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    source_counts_[static_cast<int>(out[i].source)].fetch_add(
+        1, std::memory_order_relaxed);
+    const uint64_t nanos =
+        phase1_nanos[i] + (needs_global[i] != 0 ? global_share : 0);
+    predict_latency_.Record(static_cast<size_t>(out[i].source), nanos);
+    if (traced) {
+      traces[i].total_nanos = nanos;
+      if (needs_global[i] != 0) core::CompleteTrace(&traces[i], out[i]);
+      routing_metrics_.Record(traces[i]);
+    }
   }
   return out;
 }

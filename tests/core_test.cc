@@ -190,6 +190,68 @@ TEST(StagePredictorTest, UncertainLongQueriesEscalateToGlobal) {
   EXPECT_EQ(prediction.source, PredictionSource::kGlobal);
 }
 
+TEST(StagePredictorTest, PredictBatchBitEqualsLoopedPredict) {
+  // One batch mixing every routing outcome — cache hits, local-confident
+  // queries, escalations to the (batched) global model — must equal
+  // per-query Predict bit for bit, in order.
+  fleet::FleetConfig fleet_config;
+  fleet_config.num_instances = 1;
+  fleet_config.workload.num_queries = 150;
+  fleet::FleetGenerator generator(fleet_config);
+  const auto fleet = generator.GenerateFleet();
+  std::vector<global::GlobalExample> examples;
+  for (const auto& event : fleet[0].trace) {
+    examples.push_back(global::MakeGlobalExample(
+        event.plan, fleet[0].config, event.concurrent_queries,
+        event.exec_seconds));
+  }
+  global::GlobalModelConfig global_config;
+  global_config.hidden_dim = 16;
+  global_config.num_layers = 2;
+  global_config.head_hidden = {16};
+  global_config.epochs = 2;
+  const global::GlobalModel global_model =
+      global::GlobalModel::Train(examples, global_config);
+
+  StagePredictorConfig config = FastStage();
+  config.short_running_seconds = 0.0;          // Nothing counts as short.
+  config.uncertainty_log_std_threshold = 0.0;  // Nothing counts as sure.
+  StagePredictor predictor(config, {&global_model, &fleet[0].config});
+  Rng rng(13);
+  std::vector<plan::Plan> observed;
+  for (int i = 0; i < 40; ++i) {
+    observed.push_back(MakePlan(rng.NextUniform(1.0, 2.0)));
+    predictor.Observe(MakeQueryContext(observed.back(), 0, i), 1.0);
+  }
+  ASSERT_TRUE(predictor.local_model().trained());
+
+  std::vector<plan::Plan> fresh;
+  for (int i = 0; i < 30; ++i) fresh.push_back(MakePlan(1e6 + i * 1e4));
+  std::vector<QueryContext> queries;
+  for (int i = 0; i < 10; ++i) {
+    queries.push_back(MakeQueryContext(observed[i], 0, 100));  // Cache hits.
+  }
+  for (const plan::Plan& plan : fresh) {
+    queries.push_back(MakeQueryContext(plan, 0, 100));  // Escalations.
+  }
+
+  const std::vector<Prediction> batch = predictor.PredictBatch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  bool any_cache = false;
+  bool any_global = false;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Prediction single = predictor.Predict(queries[i]);
+    EXPECT_EQ(batch[i].source, single.source) << i;
+    EXPECT_EQ(batch[i].seconds, single.seconds) << i;
+    EXPECT_EQ(batch[i].uncertainty_log_std, single.uncertainty_log_std) << i;
+    any_cache |= batch[i].source == PredictionSource::kCache;
+    any_global |= batch[i].source == PredictionSource::kGlobal;
+  }
+  EXPECT_TRUE(any_cache);
+  EXPECT_TRUE(any_global);
+  EXPECT_EQ(predictor.total_predictions(), 2 * queries.size());
+}
+
 TEST(StagePredictorTest, UseGlobalFalseDisablesEscalation) {
   StagePredictorConfig config = FastStage();
   config.use_global = false;

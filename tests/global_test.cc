@@ -201,6 +201,80 @@ TEST(GlobalModelTest, SaveLoadRoundTripPreservesPredictions) {
   }
 }
 
+TEST(GlobalModelTest, PredictBatchBitEqualsPredictSeconds) {
+  fleet::FleetGenerator generator(SmallFleet());
+  const auto fleet = generator.GenerateFleet();
+  std::vector<GlobalExample> examples;
+  for (const auto& event : fleet[0].trace) {
+    examples.push_back(MakeGlobalExample(event.plan, fleet[0].config,
+                                         event.concurrent_queries,
+                                         event.exec_seconds));
+  }
+  const GlobalModel model = GlobalModel::Train(examples, FastConfig());
+
+  std::vector<GlobalQuery> queries;
+  for (int i = 0; i < 60; ++i) {
+    const auto& event = fleet[1].trace[i];
+    queries.push_back({&event.plan, event.concurrent_queries});
+  }
+  std::vector<double> batched(queries.size(), -1.0);
+  model.PredictBatch(queries, fleet[1].config, batched);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batched[i],
+              model.PredictSeconds(*queries[i].plan, fleet[1].config,
+                                   queries[i].concurrent_queries))
+        << "query " << i;
+  }
+
+  // The pool only fans out GEMM row blocks; bytes must not change.
+  ThreadPool pool(3);
+  std::vector<double> pooled(queries.size(), -1.0);
+  model.PredictBatch(queries, fleet[1].config, pooled, &pool);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batched[i], pooled[i]) << "query " << i;
+  }
+
+  // Single-query batches are the degenerate case.
+  std::vector<double> one(1, -1.0);
+  model.PredictBatch(std::span<const GlobalQuery>(queries.data(), 1),
+                     fleet[1].config, one);
+  EXPECT_EQ(one[0], batched[0]);
+}
+
+TEST(GlobalModelTest, TrainBytesIdenticalAcrossPoolWidths) {
+  fleet::FleetGenerator generator(SmallFleet());
+  const auto fleet = generator.GenerateFleet();
+  std::vector<GlobalExample> examples;
+  for (const auto& event : fleet[0].trace) {
+    examples.push_back(MakeGlobalExample(event.plan, fleet[0].config,
+                                         event.concurrent_queries,
+                                         event.exec_seconds));
+  }
+  GlobalModelConfig config = FastConfig();
+  config.epochs = 2;
+
+  // Serial reference: parallelism off entirely.
+  config.parallel_train = false;
+  double serial_mae = -1.0;
+  const GlobalModel serial = GlobalModel::Train(examples, config, &serial_mae);
+  std::stringstream serial_bytes;
+  serial.Save(serial_bytes);
+
+  // Every pool width must yield the identical checkpoint: gradient
+  // accumulation is tiled per output element, never reassociated.
+  config.parallel_train = true;
+  for (const int width : {1, 2, 8}) {
+    ThreadPool pool(width);
+    double mae = -1.0;
+    const GlobalModel parallel =
+        GlobalModel::Train(examples, config, &mae, &pool);
+    std::stringstream bytes;
+    parallel.Save(bytes);
+    EXPECT_EQ(serial_bytes.str(), bytes.str()) << "pool width " << width;
+    EXPECT_EQ(serial_mae, mae) << "pool width " << width;
+  }
+}
+
 TEST(GlobalModelTest, LoadRejectsGarbage) {
   GlobalModel model;
   std::stringstream garbage("this is not a checkpoint");

@@ -212,6 +212,58 @@ TEST(PredictionServiceTest, PredictBatchMatchesLoopedPredict) {
   EXPECT_EQ(service.predict_latency().total_count(), 2 * contexts.size());
 }
 
+TEST(PredictionServiceTest, PredictBatchWithEscalationsMatchesLoopedPredict) {
+  // Same parity bar, with a trained global model wired in and thresholds
+  // forcing escalation: the batch path runs ONE GlobalModel::PredictBatch
+  // over every escalated query, which must be bit-identical to the inline
+  // per-query global pass Predict takes. >64 queries also exercises the
+  // parallel phase-1 fan-out.
+  const fleet::InstanceTrace instance = MakeTrace(400);
+  const std::vector<core::QueryContext> contexts = MakeContexts(instance);
+
+  std::vector<global::GlobalExample> examples;
+  for (const fleet::QueryEvent& event : instance.trace) {
+    examples.push_back(global::MakeGlobalExample(
+        event.plan, instance.config, event.concurrent_queries,
+        event.exec_seconds));
+  }
+  global::GlobalModelConfig global_config;
+  global_config.hidden_dim = 16;
+  global_config.num_layers = 2;
+  global_config.head_hidden = {16};
+  global_config.epochs = 2;
+  const global::GlobalModel global_model =
+      global::GlobalModel::Train(examples, global_config);
+
+  PredictionServiceConfig config;
+  config.predictor = FastStage();
+  config.predictor.short_running_seconds = 0.0;
+  config.predictor.uncertainty_log_std_threshold = 0.0;
+  config.async_retrain = false;
+  PredictionService service(
+      config, {.global_model = &global_model, .instance = &instance.config});
+  for (size_t i = 0; i + 100 < contexts.size(); ++i) {
+    service.Observe(contexts[i], instance.trace[i].exec_seconds);
+  }
+  ASSERT_NE(service.local_model_snapshot(), nullptr);
+
+  const std::vector<core::Prediction> batch = service.PredictBatch(contexts);
+  ASSERT_EQ(batch.size(), contexts.size());
+  bool any_cache = false;
+  bool any_global = false;
+  for (size_t i = 0; i < contexts.size(); ++i) {
+    const core::Prediction single = service.Predict(contexts[i]);
+    EXPECT_EQ(batch[i].source, single.source) << i;
+    EXPECT_EQ(batch[i].seconds, single.seconds) << i;
+    any_cache |= batch[i].source == core::PredictionSource::kCache;
+    any_global |= batch[i].source == core::PredictionSource::kGlobal;
+  }
+  EXPECT_TRUE(any_cache);
+  EXPECT_TRUE(any_global);
+  EXPECT_EQ(service.total_predictions(), 2 * contexts.size());
+  EXPECT_EQ(service.predict_latency().total_count(), 2 * contexts.size());
+}
+
 TEST(PredictionServiceTest, AsyncRetrainPublishesModelInBackground) {
   const fleet::InstanceTrace instance = MakeTrace(600);
   const std::vector<core::QueryContext> contexts = MakeContexts(instance);

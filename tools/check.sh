@@ -42,6 +42,17 @@ else
 fi
 echo "=== bench JSON OK: ${bench_json} ==="
 
+echo "=== [release] global-model hot-path bench smoke (STAGE_BENCH_FAST=1) ==="
+(cd "${repo_root}/build-check-release/bench" && \
+  STAGE_BENCH_FAST=1 ./bench_global_hot_path)
+global_bench_json="${repo_root}/build-check-release/bench/BENCH_global_hot_path.json"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "${global_bench_json}" > /dev/null
+else
+  grep -q '"speedup"' "${global_bench_json}"
+fi
+echo "=== bench JSON OK: ${global_bench_json} ==="
+
 # Observability gate (also in --fast): the pinned golden routing replay
 # must match, and the CLI's Prometheus exposition must actually look like
 # one (obs_test validates the renderer structurally; this catches the CLI
