@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <sstream>
 #include <system_error>
+#include <type_traits>
 #include <utility>
 
 namespace stage::ckpt {
@@ -13,11 +14,21 @@ void SetError(std::string* error, std::string message) {
   if (error != nullptr) *error = std::move(message);
 }
 
+// `save` either returns void (legacy Save(ostream&) writers) or bool (the
+// status-returning SaveCheckpoint/SaveState contract); a false status fails
+// the wrap before any file is touched.
 template <typename SaveFn>
 bool SaveWrapped(const std::string& path, SnapshotKind kind, SaveFn&& save,
                  std::string* error) {
   std::ostringstream payload;
-  save(payload);
+  if constexpr (std::is_same_v<decltype(save(payload)), bool>) {
+    if (!save(payload)) {
+      SetError(error, "serialization failed");
+      return false;
+    }
+  } else {
+    save(payload);
+  }
   if (!payload) {
     SetError(error, "serialization failed");
     return false;
@@ -45,7 +56,7 @@ bool SaveServiceSnapshot(const serve::PredictionService& service,
                          const std::string& path, std::string* error) {
   return SaveWrapped(
       path, SnapshotKind::kPredictionService,
-      [&](std::ostream& out) { service.SaveCheckpoint(out); }, error);
+      [&](std::ostream& out) { return service.SaveCheckpoint(out); }, error);
 }
 
 bool LoadServiceSnapshot(serve::PredictionService* service,

@@ -31,8 +31,17 @@ std::string_view SnapshotKindName(SnapshotKind kind) {
       return "stage-predictor";
     case SnapshotKind::kPredictionService:
       return "prediction-service";
+    case SnapshotKind::kFleetService:
+      return "fleet-service";
   }
   return "unknown";
+}
+
+std::optional<SnapshotKind> SnapshotKindFromName(std::string_view name) {
+  for (const SnapshotKind kind : kAllSnapshotKinds) {
+    if (SnapshotKindName(kind) == name) return kind;
+  }
+  return std::nullopt;
 }
 
 void WriteSnapshotStream(std::ostream& out, SnapshotKind kind,

@@ -1,8 +1,10 @@
 #ifndef STAGE_CKPT_SNAPSHOT_FILE_H_
 #define STAGE_CKPT_SNAPSHOT_FILE_H_
 
+#include <array>
 #include <cstdint>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -11,16 +13,36 @@ namespace stage::ckpt {
 
 // What a snapshot file contains; written into the envelope header so a
 // reader can never mistake, say, a bare local-model checkpoint for a full
-// service snapshot.
+// service snapshot. This is the single kind registry shared by the
+// whole-payload envelope below and the indexed fleet envelope
+// (stage/fleet_serve/fleet_snapshot.h): every on-disk format names its
+// content through this enum, never through ad-hoc strings at call sites.
 enum class SnapshotKind : uint32_t {
   kLocalModel = 1,
   kExecTimeCache = 2,
   kTrainingPool = 3,
   kStagePredictor = 4,
   kPredictionService = 5,
+  // Multi-tenant fleet snapshot: an index of per-tenant payloads at known
+  // offsets (each payload is a kPredictionService-format stream), so cold
+  // activation can seek and deserialize one tenant without reading the
+  // whole file.
+  kFleetService = 6,
+};
+
+// Every enumerator, for registry round-trip tests and tooling that has to
+// enumerate the vocabulary. Keep in sync with the enum.
+inline constexpr std::array<SnapshotKind, 6> kAllSnapshotKinds = {
+    SnapshotKind::kLocalModel,       SnapshotKind::kExecTimeCache,
+    SnapshotKind::kTrainingPool,     SnapshotKind::kStagePredictor,
+    SnapshotKind::kPredictionService, SnapshotKind::kFleetService,
 };
 
 std::string_view SnapshotKindName(SnapshotKind kind);
+
+// Inverse of SnapshotKindName; nullopt for unrecognized names. Names and
+// kinds round-trip exactly (pinned by ckpt_test's registry test).
+std::optional<SnapshotKind> SnapshotKindFromName(std::string_view name);
 
 // The versioned, CRC-checked envelope around every checkpoint payload:
 //

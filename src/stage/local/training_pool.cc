@@ -51,6 +51,10 @@ size_t TrainingPool::size() const {
   return buckets_[0].size() + buckets_[1].size() + buckets_[2].size();
 }
 
+size_t TrainingPool::MemoryBytes() const {
+  return size() * sizeof(Example);
+}
+
 size_t TrainingPool::bucket_size(int bucket) const {
   STAGE_CHECK(bucket >= 0 && bucket < 3);
   return buckets_[bucket].size();

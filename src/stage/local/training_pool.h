@@ -49,6 +49,11 @@ class TrainingPool {
   // Total observations ever offered (including later-evicted ones).
   uint64_t total_added() const { return total_added_; }
 
+  // Approximate heap footprint of the pooled examples (fleet eviction
+  // accounting). Deque block overhead is ignored; the dominant term is the
+  // per-example feature vector.
+  size_t MemoryBytes() const;
+
   // Checkpointing: writes every bucket's examples in arrival order plus
   // total_added_, so a restored pool builds the identical dataset and
   // continues the identical oldest-first eviction. Load is transactional —

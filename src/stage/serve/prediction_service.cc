@@ -1,24 +1,8 @@
 #include "stage/serve/prediction_service.h"
 
-#include <chrono>
 #include <utility>
 
-#include "stage/common/macros.h"
-#include "stage/common/serialize.h"
-#include "stage/common/thread_pool.h"
-
 namespace stage::serve {
-
-namespace {
-
-uint64_t ElapsedNanos(std::chrono::steady_clock::time_point start) {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - start)
-          .count());
-}
-
-}  // namespace
 
 std::string PredictionServiceConfig::Validate() const {
   if (cache_shards == 0) return "cache_shards must be positive";
@@ -27,419 +11,67 @@ std::string PredictionServiceConfig::Validate() const {
 
 namespace {
 
-// Validates before any member construction (config_ initializes first), so
-// a bad config reports Validate()'s message instead of tripping an internal
-// check deep inside a member constructor.
-const PredictionServiceConfig& Validated(const PredictionServiceConfig& config) {
-  const std::string error = config.Validate();
-  STAGE_CHECK_MSG(error.empty(), error.c_str());
-  return config;
+fleet_serve::FleetServiceConfig FleetConfigFor(
+    const PredictionServiceConfig& config) {
+  fleet_serve::FleetServiceConfig fleet;
+  fleet.stack.predictor = config.predictor;
+  fleet.stack.cache_shards = config.cache_shards;
+  fleet.resident_bytes_budget = 0;  // A facade tenant is never evicted.
+  fleet.async_retrain = config.async_retrain;
+  // One worker reproduces the old dedicated retrain thread exactly:
+  // serialized trainings, repeat requests coalescing into one follow-up.
+  fleet.max_concurrent_trainings = 1;
+  return fleet;
 }
 
 }  // namespace
 
 PredictionService::PredictionService(const PredictionServiceConfig& config,
                                      const core::StagePredictorOptions& options)
-    : config_(Validated(config)),
-      options_(options),
-      cache_(ShardedExecTimeCacheConfig{config.predictor.cache,
-                                        config.cache_shards}),
-      pool_(config.predictor.pool) {
-  if (options_.metrics != nullptr) RegisterMetrics();
-  if (config_.async_retrain) {
-    worker_ = std::thread([this] { RetrainLoop(); });
-  }
+    : fleet_(FleetConfigFor(config)) {
+  // The tenant carries the caller's options (global model, instance,
+  // metrics) so the stack registers the same per-service metric families
+  // under the same prefix the pre-fleet service did. The fleet itself runs
+  // without fleet-level metrics — one pinned tenant has no evictions or
+  // cold activations to report.
+  fleet_.RegisterTenant(kTenantId, options);
+  stack_ = fleet_.PinTenant(kTenantId);
 }
 
-PredictionService::~PredictionService() {
-  // Drop render-time callbacks before any member state dies: a scrape
-  // racing destruction must never read a dead cache or pool.
-  if (options_.metrics != nullptr) options_.metrics->UnregisterAll(this);
-  if (worker_.joinable()) {
-    {
-      std::lock_guard<std::mutex> lock(work_mutex_);
-      stopping_ = true;
-    }
-    work_cv_.notify_all();
-    worker_.join();
-  }
-}
-
-void PredictionService::RegisterMetrics() {
-  obs::MetricsRegistry* registry = options_.metrics;
-  const std::string& prefix = options_.metrics_prefix;
-  // Escalations + uncertainty come from the hot-path metric set; per-stage
-  // latency is already measured by predict_latency_, exposed below as
-  // histogram callbacks (with_latency=false avoids a duplicate family).
-  routing_metrics_ =
-      obs::RoutingMetricSet::Create(registry, prefix, /*with_latency=*/false);
-  for (int i = 0; i < core::kNumPredictionSources; ++i) {
-    const auto source = static_cast<core::PredictionSource>(i);
-    const std::string label =
-        "{stage=\"" + std::string(core::PredictionSourceName(source)) + "\"}";
-    registry->RegisterCounterCallback(
-        this, prefix + "predictions_total" + label, [this, i] {
-          return source_counts_[i].load(std::memory_order_relaxed);
-        });
-    registry->RegisterHistogramCallback(
-        this, prefix + "predict_latency_ns" + label, [this, i] {
-          return predict_latency_.histogram_snapshot(static_cast<size_t>(i));
-        });
-  }
-  registry->RegisterCounterCallback(this, prefix + "cache_hits_total",
-                                    [this] { return cache_.hits(); });
-  registry->RegisterCounterCallback(this, prefix + "cache_misses_total",
-                                    [this] { return cache_.misses(); });
-  registry->RegisterCounterCallback(this, prefix + "cache_evictions_total",
-                                    [this] { return cache_.evictions(); });
-  for (size_t shard = 0; shard < cache_.num_shards(); ++shard) {
-    const std::string label = "{shard=\"" + std::to_string(shard) + "\"}";
-    registry->RegisterCounterCallback(
-        this, prefix + "cache_shard_hits_total" + label,
-        [this, shard] { return cache_.shard_stats(shard).hits; });
-    registry->RegisterCounterCallback(
-        this, prefix + "cache_shard_misses_total" + label,
-        [this, shard] { return cache_.shard_stats(shard).misses; });
-    registry->RegisterCounterCallback(
-        this, prefix + "cache_shard_evictions_total" + label,
-        [this, shard] { return cache_.shard_stats(shard).evictions; });
-    registry->RegisterGaugeCallback(
-        this, prefix + "cache_shard_entries" + label, [this, shard] {
-          return static_cast<double>(cache_.shard_stats(shard).entries);
-        });
-  }
-  registry->RegisterGaugeCallback(
-      this, prefix + "cache_entries",
-      [this] { return static_cast<double>(cache_.size()); });
-  registry->RegisterGaugeCallback(
-      this, prefix + "pool_entries",
-      [this] { return static_cast<double>(pool_size()); });
-  registry->RegisterGaugeCallback(
-      this, prefix + "resident_memory_bytes",
-      [this] { return static_cast<double>(LocalMemoryBytes()); });
-  registry->RegisterCounterCallback(
-      this, prefix + "local_trainings_total",
-      [this] { return static_cast<uint64_t>(trainings()); });
-  registry->RegisterGaugeCallback(
-      this, prefix + "threadpool_queue_depth", [] {
-        return static_cast<double>(ThreadPool::Shared().queue_depth());
-      });
-  registry->RegisterCounterCallback(
-      this, prefix + "threadpool_tasks_total",
-      [] { return ThreadPool::Shared().tasks_run(); });
-}
-
-core::Prediction PredictionService::PredictImpl(
-    const core::QueryContext& query, obs::PredictionTrace* trace) const {
-  const auto start = std::chrono::steady_clock::now();
-  // Take the model snapshot before the cache lookup: a snapshot held for
-  // the whole routing decision can never be freed mid-predict, and the
-  // routing function sees one consistent model.
-  const std::shared_ptr<const local::LocalModel> local =
-      local_model_snapshot();
-  const core::Prediction out = core::RouteHierarchical(
-      config_.predictor, query, cache_.Predict(query.feature_hash),
-      local.get(), options_.global_model, options_.instance, trace);
-  source_counts_[static_cast<int>(out.source)].fetch_add(
-      1, std::memory_order_relaxed);
-  const uint64_t nanos = ElapsedNanos(start);
-  predict_latency_.Record(static_cast<size_t>(out.source), nanos);
-  if (trace != nullptr) {
-    trace->cache_shard =
-        static_cast<uint32_t>(query.feature_hash % cache_.num_shards());
-    trace->total_nanos = nanos;
-  }
-  return out;
-}
+PredictionService::~PredictionService() = default;
 
 core::Prediction PredictionService::Predict(
     const core::QueryContext& query) const {
-  if (!routing_metrics_.enabled()) return PredictImpl(query, nullptr);
-  obs::PredictionTrace trace;
-  const core::Prediction out = PredictImpl(query, &trace);
-  routing_metrics_.Record(trace);
-  return out;
+  return stack_->Predict(query);
+}
+
+std::vector<core::Prediction> PredictionService::PredictBatch(
+    std::span<const core::QueryContext> queries) const {
+  return stack_->PredictBatch(queries);
 }
 
 core::Prediction PredictionService::PredictTraced(
     const core::QueryContext& query, obs::PredictionTrace* trace) const {
-  if (trace == nullptr) return Predict(query);
-  const core::Prediction out = PredictImpl(query, trace);
-  if (routing_metrics_.enabled()) routing_metrics_.Record(*trace);
-  return out;
-}
-
-namespace {
-
-// Batches at least this large fan out across the shared thread pool; the
-// per-query routing work (cache shard lookup + flat-forest walk) is too
-// small to amortize task handoff below it.
-constexpr size_t kParallelBatchThreshold = 64;
-
-}  // namespace
-
-std::vector<core::Prediction> PredictionService::PredictBatch(
-    std::span<const core::QueryContext> queries) const {
-  // One model snapshot amortized across the batch; cache lookups still go
-  // through the shard locks individually so a batch never starves writers.
-  const std::shared_ptr<const local::LocalModel> local =
-      local_model_snapshot();
-  std::vector<core::Prediction> out(queries.size());
-  if (queries.empty()) return out;
-  const bool traced = routing_metrics_.enabled();
-  std::vector<obs::PredictionTrace> traces(traced ? queries.size() : 0);
-  std::vector<uint64_t> phase1_nanos(queries.size(), 0);
-  // uint8_t, not bool: lanes write neighboring elements concurrently.
-  std::vector<uint8_t> needs_global(queries.size(), 0);
-
-  // Phase 1: cache + local routing. Escalated queries defer their seconds
-  // to ONE batched global pass below instead of running the GCN inline.
-  const auto route_one = [&](size_t i) {
-    const core::QueryContext& query = queries[i];
-    const auto query_start = std::chrono::steady_clock::now();
-    bool escalate = false;
-    out[i] = core::RouteHierarchicalDeferred(
-        config_.predictor, query, cache_.Predict(query.feature_hash),
-        local.get(), options_.global_model, options_.instance, &escalate,
-        traced ? &traces[i] : nullptr);
-    needs_global[i] = escalate ? 1 : 0;
-    phase1_nanos[i] = ElapsedNanos(query_start);
-  };
-  if (queries.size() >= kParallelBatchThreshold) {
-    // Safe to fan out: cache_.Predict only touches per-shard locks and
-    // atomic counters, the model snapshot is immutable, and each lane
-    // writes only its own slots, so results match the sequential loop
-    // exactly.
-    ThreadPool::Shared().ParallelFor(queries.size(), route_one);
-  } else {
-    for (size_t i = 0; i < queries.size(); ++i) route_one(i);
-  }
-
-  // Phase 2: one level-order batched global pass over every escalation —
-  // bit-identical to per-query PredictSeconds (GlobalModel's contract).
-  std::vector<size_t> escalated;
-  for (size_t i = 0; i < queries.size(); ++i) {
-    if (needs_global[i] != 0) escalated.push_back(i);
-  }
-  uint64_t global_share = 0;
-  if (!escalated.empty()) {
-    std::vector<global::GlobalQuery> global_queries;
-    global_queries.reserve(escalated.size());
-    for (size_t i : escalated) {
-      global_queries.push_back({queries[i].plan,
-                                queries[i].concurrent_queries});
-    }
-    std::vector<double> seconds(escalated.size());
-    const auto global_start = std::chrono::steady_clock::now();
-    options_.global_model->PredictBatch(
-        global_queries, *options_.instance, seconds,
-        escalated.size() > 1 ? &ThreadPool::Shared() : nullptr);
-    // Each escalated query carries an equal share of the batched pass (the
-    // per-query split inside one GEMM is unknowable).
-    global_share = ElapsedNanos(global_start) / escalated.size();
-    for (size_t j = 0; j < escalated.size(); ++j) {
-      out[escalated[j]].seconds = seconds[j];
-    }
-  }
-
-  // Counters, latency, and trace emission, in index order.
-  for (size_t i = 0; i < queries.size(); ++i) {
-    source_counts_[static_cast<int>(out[i].source)].fetch_add(
-        1, std::memory_order_relaxed);
-    const uint64_t nanos =
-        phase1_nanos[i] + (needs_global[i] != 0 ? global_share : 0);
-    predict_latency_.Record(static_cast<size_t>(out[i].source), nanos);
-    if (traced) {
-      traces[i].total_nanos = nanos;
-      if (needs_global[i] != 0) core::CompleteTrace(&traces[i], out[i]);
-      routing_metrics_.Record(traces[i]);
-    }
-  }
-  return out;
+  return stack_->PredictTraced(query, trace);
 }
 
 void PredictionService::Observe(const core::QueryContext& query,
                                 double exec_seconds) {
-  STAGE_CHECK(exec_seconds >= 0.0);
-  std::lock_guard<std::mutex> observe_lock(observe_mutex_);
-
-  // §4.3 pool deduplication: only cache misses diversify the pool. The
-  // was-cached check and the observation happen under one shard lock.
-  const bool was_cached =
-      cache_.Observe(query.feature_hash, exec_seconds, query.tick);
-
-  bool request_retrain = false;
-  {
-    std::lock_guard<std::mutex> pool_lock(pool_mutex_);
-    if (!was_cached) {
-      pool_.Add(query.features, exec_seconds);
-      ++observed_since_train_;
-    }
-    // Mirrors StagePredictor::Observe's cadence, with "a training has been
-    // kicked off" standing in for "the local model is trained" so the async
-    // first training is requested exactly once.
-    const bool first_training =
-        !first_train_requested_ &&
-        pool_.size() >= config_.predictor.min_train_size;
-    const bool scheduled_training =
-        first_train_requested_ &&
-        observed_since_train_ >= config_.predictor.retrain_interval &&
-        pool_.size() >= config_.predictor.min_train_size;
-    if (first_training || scheduled_training) {
-      request_retrain = true;
-      first_train_requested_ = true;
-      observed_since_train_ = 0;
-    }
-  }
-  if (!request_retrain) return;
-
-  if (!config_.async_retrain) {
-    TrainOnce();
-    return;
-  }
-  {
-    std::lock_guard<std::mutex> lock(work_mutex_);
-    retrain_requested_ = true;
-  }
-  work_cv_.notify_one();
+  fleet_.Observe(kTenantId, query, exec_seconds);
 }
 
-void PredictionService::RetrainLoop() {
-  std::unique_lock<std::mutex> lock(work_mutex_);
-  while (true) {
-    work_cv_.wait(lock, [this] { return stopping_ || retrain_requested_; });
-    if (stopping_) return;
-    retrain_requested_ = false;
-    training_in_flight_ = true;
-    lock.unlock();
-    TrainOnce();
-    lock.lock();
-    training_in_flight_ = false;
-    idle_cv_.notify_all();
-  }
-}
+void PredictionService::WaitForRetrain() { fleet_.WaitForRetrain(); }
 
-void PredictionService::TrainOnce() {
-  // Snapshot the pool so training never holds the write-path lock.
-  local::TrainingPool snapshot = [this] {
-    std::lock_guard<std::mutex> lock(pool_mutex_);
-    return pool_;
-  }();
-  auto fresh = std::make_shared<local::LocalModel>(config_.predictor.local);
-  fresh->Train(snapshot);
-  if (!fresh->trained()) return;  // Empty snapshot: nothing to publish.
-  PublishModel(std::move(fresh));
-  trainings_.fetch_add(1, std::memory_order_relaxed);
-}
-
-void PredictionService::PublishModel(
-    std::shared_ptr<const local::LocalModel> fresh) {
-  // Double-buffer swap: readers holding the old snapshot finish on it (and
-  // free it with the last reference); new Predicts see the fresh model.
-  std::lock_guard<std::mutex> lock(model_mutex_);
-  model_ = std::move(fresh);
-}
-
-std::shared_ptr<const local::LocalModel>
-PredictionService::local_model_snapshot() const {
-  std::lock_guard<std::mutex> lock(model_mutex_);
-  return model_;
-}
-
-namespace {
-constexpr uint32_t kServiceMagic = 0x53535256;  // "SSRV".
-constexpr uint32_t kServiceVersion = 1;
-}  // namespace
-
-void PredictionService::SaveCheckpoint(std::ostream& out) const {
-  // Pausing Observe (not Predict) pins one consistent cut: every
-  // observation is either fully in the snapshot (cache AND pool) or fully
-  // after it. An async training may still publish a model mid-snapshot;
-  // the single shared_ptr load below keeps the captured model coherent.
-  std::lock_guard<std::mutex> observe_lock(observe_mutex_);
-  WriteHeader(out, kServiceMagic, kServiceVersion);
-  cache_.Save(out);
-  {
-    std::lock_guard<std::mutex> pool_lock(pool_mutex_);
-    pool_.Save(out);
-    WritePod<uint64_t>(out, observed_since_train_);
-    WritePod<uint8_t>(out, first_train_requested_ ? 1 : 0);
-  }
-  const std::shared_ptr<const local::LocalModel> model =
-      local_model_snapshot();
-  WritePod<uint8_t>(out, model ? 1 : 0);
-  if (model) model->Save(out);
-  WritePod<int32_t>(out, trainings_.load(std::memory_order_relaxed));
+bool PredictionService::SaveCheckpoint(std::ostream& out) const {
+  return stack_->SaveState(out);
 }
 
 bool PredictionService::LoadCheckpoint(std::istream& in) {
-  std::lock_guard<std::mutex> observe_lock(observe_mutex_);
-  if (!ReadHeader(in, kServiceMagic, kServiceVersion)) return false;
-  if (!cache_.Load(in)) return false;
-  {
-    std::lock_guard<std::mutex> pool_lock(pool_mutex_);
-    local::TrainingPool pool(config_.predictor.pool);
-    if (!pool.Load(in)) return false;
-    uint64_t observed_since_train = 0;
-    uint8_t first_train_requested = 0;
-    if (!ReadPod(in, &observed_since_train) ||
-        !ReadPod(in, &first_train_requested)) {
-      return false;
-    }
-    pool_ = std::move(pool);
-    observed_since_train_ = static_cast<size_t>(observed_since_train);
-    first_train_requested_ = first_train_requested != 0;
-  }
-  uint8_t has_model = 0;
-  if (!ReadPod(in, &has_model)) return false;
-  if (has_model != 0) {
-    auto model = std::make_shared<local::LocalModel>(config_.predictor.local);
-    if (!model->Load(in)) return false;
-    PublishModel(std::move(model));
-  } else {
-    PublishModel(nullptr);
-  }
-  int32_t trainings = 0;
-  if (!ReadPod(in, &trainings)) return false;
-  trainings_.store(trainings, std::memory_order_relaxed);
-  return true;
-}
-
-void PredictionService::WaitForRetrain() {
-  if (!config_.async_retrain) return;
-  std::unique_lock<std::mutex> lock(work_mutex_);
-  idle_cv_.wait(lock, [this] {
-    return !retrain_requested_ && !training_in_flight_;
-  });
-}
-
-uint64_t PredictionService::total_predictions() const {
-  uint64_t total = 0;
-  for (const auto& count : source_counts_) {
-    total += count.load(std::memory_order_relaxed);
-  }
-  return total;
-}
-
-size_t PredictionService::pool_size() const {
-  std::lock_guard<std::mutex> lock(pool_mutex_);
-  return pool_.size();
+  return stack_->LoadState(in);
 }
 
 std::vector<std::string> PredictionService::PredictLatencySlotNames() {
-  std::vector<std::string> names;
-  names.reserve(core::kNumPredictionSources);
-  for (int i = 0; i < core::kNumPredictionSources; ++i) {
-    names.emplace_back(core::PredictionSourceName(
-        static_cast<core::PredictionSource>(i)));
-  }
-  return names;
-}
-
-size_t PredictionService::LocalMemoryBytes() const {
-  const std::shared_ptr<const local::LocalModel> local =
-      local_model_snapshot();
-  return cache_.MemoryBytes() + (local ? local->MemoryBytes() : 0);
+  return fleet_serve::TenantStack::PredictLatencySlotNames();
 }
 
 }  // namespace stage::serve

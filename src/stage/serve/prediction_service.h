@@ -1,24 +1,19 @@
 #ifndef STAGE_SERVE_PREDICTION_SERVICE_H_
 #define STAGE_SERVE_PREDICTION_SERVICE_H_
 
-#include <array>
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "stage/core/predictor.h"
 #include "stage/core/stage_predictor.h"
+#include "stage/fleet_serve/fleet_service.h"
+#include "stage/fleet_serve/tenant_stack.h"
 #include "stage/local/local_model.h"
-#include "stage/local/training_pool.h"
 #include "stage/metrics/latency_recorder.h"
-#include "stage/obs/metrics.h"
 #include "stage/obs/trace.h"
 #include "stage/serve/sharded_cache.h"
 
@@ -32,8 +27,8 @@ struct PredictionServiceConfig {
   // shards let concurrent lookups proceed without serializing.
   size_t cache_shards = 8;
 
-  // When true (production), retraining runs on a dedicated worker thread
-  // from a snapshot of the training pool and the fresh model is swapped in
+  // When true (production), retraining runs on a worker thread from a
+  // snapshot of the training pool and the fresh model is swapped in
   // atomically — Predict and Observe never block on Train. When false
   // (deterministic replay / tests), Observe trains inline exactly like
   // StagePredictor::Observe.
@@ -43,26 +38,20 @@ struct PredictionServiceConfig {
   std::string Validate() const;
 };
 
-// Thread-safe serving layer over the Stage predictor (the paper's AutoWLM
-// integration path, §4.5): many sessions predict concurrently while the
-// local model refreshes in the background.
+// Thread-safe single-tenant serving layer over the Stage predictor (the
+// paper's AutoWLM integration path, §4.5): many sessions predict
+// concurrently while the local model refreshes in the background.
 //
-// Concurrency design:
-//  * Read path (Predict / PredictBatch, const): one sharded-cache lookup
-//    (per-shard mutex, sub-microsecond critical section), an atomic
-//    shared_ptr load of the current local-model snapshot, then the shared
-//    §4.1 routing function. Never blocks on training. Large batches fan
-//    the per-query routing out across ThreadPool::Shared(); every lane
-//    writes its own output slot, so results match the sequential loop.
-//  * Write path (Observe): serialized by an internal mutex (multiple
-//    writer sessions are safe), updates the cache shard and training pool,
-//    and — at the §4.3 cadence — either signals the retrain worker (async)
-//    or trains inline (deterministic mode).
-//  * Retrain worker: copies the pool under its lock, trains a fresh
-//    LocalModel off-thread, then publishes it with a double-buffered
-//    std::shared_ptr swap; in-flight Predicts finish on the old snapshot,
-//    which is freed when the last reader drops it. Requests arriving while
-//    a training runs coalesce into one follow-up run.
+// Since the fleet_serve redesign this class is a thin facade over a
+// one-entry FleetService: the predictor guts live in
+// fleet_serve::TenantStack, owned by the fleet registry under tenant id 0
+// and pinned warm for the service's lifetime (so the facade's read path
+// delegates straight to the stack — no registry lock, no eviction).
+// Observe routes through the fleet so retrains run on its worker with the
+// same coalescing semantics the dedicated worker used to have. Behaviour,
+// metric names, checkpoint bytes, and the bit-for-bit replay contract are
+// unchanged; multi-tenant callers should use fleet_serve::FleetService
+// directly.
 //
 // With cache_shards == 1 and async_retrain == false, a single-threaded
 // replay through this service is bit-for-bit identical (predictions and
@@ -94,11 +83,11 @@ class PredictionService final : public core::ExecTimePredictor {
 
   // Snapshots the full predictor state — sharded cache, training pool,
   // retrain cadence, and the current local-model snapshot — into `out`.
-  // Holds observe_mutex_ (stalling writers, not readers) so the cache and
-  // pool are captured at one consistent Observe boundary; the read path
-  // only ever contends on the one shard currently being serialized.
-  // Typically wrapped in the crash-safe file envelope of stage/ckpt.
-  void SaveCheckpoint(std::ostream& out) const;
+  // Stalls writers (not readers) for one consistent Observe boundary.
+  // Returns false on a write failure (symmetric with LoadCheckpoint —
+  // check the status; a bad stream is no longer silent). Typically wrapped
+  // in the crash-safe file envelope of stage/ckpt.
+  bool SaveCheckpoint(std::ostream& out) const;
 
   // Restores a SaveCheckpoint stream into this service. The service config
   // must match the writer's (same cache_shards; shard membership is
@@ -111,83 +100,43 @@ class PredictionService final : public core::ExecTimePredictor {
 
   // Attribution counters (same semantics as StagePredictor's).
   uint64_t predictions_from(core::PredictionSource source) const {
-    return source_counts_[static_cast<int>(source)].load(
-        std::memory_order_relaxed);
+    return stack_->predictions_from(source);
   }
-  uint64_t total_predictions() const;
+  uint64_t total_predictions() const { return stack_->total_predictions(); }
 
   // Completed local-model trainings.
-  int trainings() const { return trainings_.load(std::memory_order_relaxed); }
+  int trainings() const { return stack_->trainings(); }
 
   // Current local-model snapshot (nullptr before the first training). The
   // returned pointer stays valid across later swaps.
-  std::shared_ptr<const local::LocalModel> local_model_snapshot() const;
+  std::shared_ptr<const local::LocalModel> local_model_snapshot() const {
+    return stack_->local_model_snapshot();
+  }
 
-  const ShardedExecTimeCache& exec_time_cache() const { return cache_; }
-  size_t pool_size() const;
+  const ShardedExecTimeCache& exec_time_cache() const {
+    return stack_->exec_time_cache();
+  }
+  size_t pool_size() const { return stack_->pool_size(); }
 
   // Per-source read-path latency/QPS, one slot per PredictionSource.
   const metrics::LatencyRecorder& predict_latency() const {
-    return predict_latency_;
+    return stack_->predict_latency();
   }
   // Slot kNumPredictionSources-aligned names for RenderTable.
   static std::vector<std::string> PredictLatencySlotNames();
 
-  size_t LocalMemoryBytes() const;
+  size_t LocalMemoryBytes() const { return stack_->LocalMemoryBytes(); }
+
+  // The underlying one-entry fleet (escape hatch for callers migrating to
+  // the tenant-keyed API; the facade's stack is tenant kTenantId).
+  static constexpr fleet_serve::TenantId kTenantId = 0;
+  fleet_serve::FleetService& fleet() { return fleet_; }
 
  private:
-  core::Prediction PredictImpl(const core::QueryContext& query,
-                               obs::PredictionTrace* trace) const;
-  void RegisterMetrics();
-  void RetrainLoop();
-  void TrainOnce();
-  void PublishModel(std::shared_ptr<const local::LocalModel> fresh);
-
-  PredictionServiceConfig config_;
-  core::StagePredictorOptions options_;  // Borrowed pointers, nullable.
-
-  ShardedExecTimeCache cache_;
-
-  // Write-path state: the pool and retrain bookkeeping, guarded by
-  // pool_mutex_ (observe_mutex_ additionally serializes whole Observes so
-  // multiple writer sessions keep StagePredictor's sequential semantics).
-  // Mutable so the const SaveCheckpoint can pause writers while it runs.
-  mutable std::mutex observe_mutex_;
-  mutable std::mutex pool_mutex_;
-  local::TrainingPool pool_;
-  size_t observed_since_train_ = 0;
-  bool first_train_requested_ = false;
-
-  // Double-buffered model snapshot: the trainer publishes a fresh model by
-  // swapping this pointer; in-flight readers keep the previous buffer alive
-  // through their own shared_ptr until they finish with it. model_mutex_
-  // guards only the O(1) copy/swap — it is never held while training — so
-  // Predict can stall behind a pointer copy at worst, never behind Train.
-  // (Deliberately not std::atomic<std::shared_ptr>: libstdc++ implements
-  // that with a lock bit ThreadSanitizer cannot see, and the stress test
-  // must run TSan-clean.)
-  mutable std::mutex model_mutex_;
-  std::shared_ptr<const local::LocalModel> model_;
-  std::atomic<int> trainings_{0};
-
-  // Retrain worker plumbing.
-  std::thread worker_;
-  std::mutex work_mutex_;
-  std::condition_variable work_cv_;   // Wakes the worker.
-  std::condition_variable idle_cv_;   // Wakes WaitForRetrain.
-  bool retrain_requested_ = false;
-  bool training_in_flight_ = false;
-  bool stopping_ = false;
-
-  mutable std::array<std::atomic<uint64_t>, core::kNumPredictionSources>
-      source_counts_{};
-  mutable metrics::LatencyRecorder predict_latency_{
-      core::kNumPredictionSources};
-  // Hot-path metric handles, resolved against options_.metrics when set
-  // (null members otherwise). The per-stage latency histograms come from
-  // predict_latency_, exposed via registry callbacks, so the RoutingMetricSet
-  // is created without its own latency family.
-  obs::RoutingMetricSet routing_metrics_;
+  fleet_serve::FleetService fleet_;
+  // The tenant-0 stack, pinned warm for the service's lifetime: reads
+  // bypass the registry entirely.
+  std::shared_ptr<fleet_serve::TenantStack> stack_;
 };
 
 }  // namespace stage::serve

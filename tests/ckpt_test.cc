@@ -11,8 +11,10 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -117,6 +119,27 @@ local::LocalModel MakeTrainedModel() {
   local::LocalModel model(config);
   model.Train(MakeFilledPool(160));
   return model;
+}
+
+// ---------------------------------------------------------------------------
+// Kind registry (snapshot_file.h): the single name<->kind vocabulary shared
+// by the ckpt envelope and the fleet snapshot format.
+
+TEST(SnapshotKindRegistryTest, NamesAreDistinctAndRoundTrip) {
+  std::set<std::string_view> names;
+  for (const SnapshotKind kind : kAllSnapshotKinds) {
+    const std::string_view name = SnapshotKindName(kind);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "unknown");
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name: " << name;
+    const auto restored = SnapshotKindFromName(name);
+    ASSERT_TRUE(restored.has_value()) << name;
+    EXPECT_EQ(*restored, kind) << name;
+  }
+  EXPECT_EQ(names.size(), kAllSnapshotKinds.size());
+  EXPECT_FALSE(SnapshotKindFromName("no-such-kind").has_value());
+  EXPECT_FALSE(SnapshotKindFromName("").has_value());
+  EXPECT_FALSE(SnapshotKindFromName("unknown").has_value());
 }
 
 // ---------------------------------------------------------------------------
@@ -725,6 +748,11 @@ bool TryLoadKind(SnapshotKind kind, const std::string& bytes,
       serve::PredictionService service(SyncServiceConfig(2));
       return LoadServiceSnapshot(&service, path);
     }
+    case SnapshotKind::kFleetService:
+      // Fleet snapshots use the indexed SFLT layout (stage/fleet_serve),
+      // not the stream envelope; their corruption suite lives in
+      // fleet_serve_test. The kind never appears in AllKindFiles.
+      return false;
   }
   return false;
 }

@@ -53,6 +53,17 @@ else
 fi
 echo "=== bench JSON OK: ${global_bench_json} ==="
 
+echo "=== [release] fleet serving bench smoke (STAGE_BENCH_FAST=1) ==="
+(cd "${repo_root}/build-check-release/bench" && \
+  STAGE_BENCH_FAST=1 ./bench_fleet_serve)
+fleet_bench_json="${repo_root}/build-check-release/bench/BENCH_fleet_serve.json"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "${fleet_bench_json}" > /dev/null
+else
+  grep -q '"predictions_per_sec"' "${fleet_bench_json}"
+fi
+echo "=== bench JSON OK: ${fleet_bench_json} ==="
+
 # Observability gate (also in --fast): the pinned golden routing replay
 # must match, and the CLI's Prometheus exposition must actually look like
 # one (obs_test validates the renderer structurally; this catches the CLI
@@ -73,7 +84,15 @@ if [[ "${fast}" -eq 0 ]]; then
   echo "=== [asan] checkpoint corruption fault-injection suite ==="
   "${repo_root}/build-check-asan/tests/ckpt_test" \
     --gtest_filter='CorruptionSuite*'
+  echo "=== [asan] fleet serving suite ==="
+  "${repo_root}/build-check-asan/tests/fleet_serve_test"
   build_and_test tsan thread
+  # The registry-churn stress test is the fleet's TSan acceptance gate:
+  # tenant threads predicting/observing while an evictor parks and
+  # reactivates their stacks.
+  echo "=== [tsan] fleet serving concurrency gate ==="
+  "${repo_root}/build-check-tsan/tests/fleet_serve_test" \
+    --gtest_filter='FleetServiceTest.ConcurrentDisjointTenantsWithEvictorChurn'
 fi
 
 echo "=== all checks passed ==="

@@ -17,6 +17,12 @@
 //   snapshot      Replay the first --stop_after events of a trace through
 //                 a PredictionService and publish a crash-safe snapshot
 //                 (CRC-checked, atomic-rename) of the full predictor state.
+//   fleet-serve   Serve every instance of the generated fleet as a
+//                 FleetService tenant: N threads replay the traces under an
+//                 optional resident-bytes budget (--budget_mb), printing
+//                 throughput, eviction/cold-activation counters, and the
+//                 activation latency table; --out saves the indexed fleet
+//                 snapshot.
 //   serve --restore_from=FILE --skip=K resumes a suspended replay from a
 //                 snapshot: the service comes up warm (cache, pool, local
 //                 model) and the writer continues at event K.
@@ -32,8 +38,10 @@
 //       --restore_from=snap.bin --skip=1000
 //   stage_sim stats --queries=2000 --shards=4
 //   stage_sim serve --queries=2000 --metrics_out=metrics.prom
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -48,6 +56,7 @@
 #include "stage/core/replay.h"
 #include "stage/core/stage_predictor.h"
 #include "stage/fleet/fleet.h"
+#include "stage/fleet_serve/fleet_service.h"
 #include "stage/global/global_model.h"
 #include "stage/metrics/error_metrics.h"
 #include "stage/metrics/report.h"
@@ -64,11 +73,13 @@ const std::vector<std::string> kKnownFlags = {
     "instances", "queries",  "seed",        "csv",  "out",
     "global",    "members",  "rounds",      "help", "utilization",
     "short_slots", "long_slots", "threads", "shards", "sync",
-    "stop_after", "restore_from", "skip", "metrics_out", "json"};
+    "stop_after", "restore_from", "skip", "metrics_out", "json",
+    "budget_mb"};
 
 void PrintUsage() {
   std::printf(
-      "usage: stage_sim <trace|train-global|replay|wlm|serve|snapshot|stats> "
+      "usage: stage_sim "
+      "<trace|train-global|replay|wlm|serve|snapshot|stats|fleet-serve> "
       "[flags]\n"
       "  common flags: --instances=N --queries=N --seed=N\n"
       "  trace:        --csv (per-query CSV to stdout)\n"
@@ -91,6 +102,10 @@ void PrintUsage() {
       "  stats:        replay through an instrumented service, dump the\n"
       "                full registry to stdout (--json for the JSON dump;\n"
       "                --out=FILE also runs the periodic checkpointer)\n"
+      "  fleet-serve:  one tenant per instance through FleetService;\n"
+      "                --threads=N --shards=N --budget_mb=M (resident-bytes\n"
+      "                budget, 0 = unbounded) --sync (inline retrain)\n"
+      "                --out=FILE (indexed fleet snapshot after the replay)\n"
       "  --metrics_out=FILE writes Prometheus text exposition, or the JSON\n"
       "  dump when FILE ends in .json\n");
 }
@@ -562,6 +577,94 @@ int RunStats(const Flags& flags) {
   return 0;
 }
 
+// Multi-tenant serving demo: every instance of the generated fleet becomes
+// a FleetService tenant; N threads replay the tenants' traces concurrently
+// under an optional resident-bytes budget, then the registry's eviction /
+// cold-activation counters and activation latency table are printed.
+int RunFleetServe(const Flags& flags) {
+  fleet::FleetConfig fleet_config = FleetFromFlags(flags);
+  fleet_config.workload.num_queries =
+      static_cast<int>(flags.GetInt("queries", 500));
+  fleet::FleetGenerator generator(fleet_config);
+  const size_t num_tenants = static_cast<size_t>(fleet_config.num_instances);
+  std::vector<fleet::InstanceTrace> instances;
+  instances.reserve(num_tenants);
+  for (size_t t = 0; t < num_tenants; ++t) {
+    instances.push_back(generator.MakeInstanceTrace(static_cast<int>(t)));
+  }
+
+  obs::MetricsRegistry registry;
+  fleet_serve::FleetServiceConfig config;
+  config.stack.predictor = StageConfigFromFlags(flags);
+  config.stack.cache_shards = static_cast<size_t>(flags.GetInt("shards", 4));
+  config.async_retrain = !flags.GetBool("sync", false);
+  config.resident_bytes_budget =
+      static_cast<size_t>(flags.GetInt("budget_mb", 0)) * 1024 * 1024;
+  fleet_serve::FleetService service(config, {.metrics = &registry});
+  for (size_t t = 0; t < num_tenants; ++t) {
+    service.RegisterTenant(t, {.instance = &instances[t].config});
+  }
+
+  const size_t num_threads = std::min<size_t>(
+      num_tenants, static_cast<size_t>(flags.GetInt("threads", 4)));
+  std::atomic<uint64_t> predictions{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (size_t w = 0; w < num_threads; ++w) {
+    workers.emplace_back([&, w] {
+      uint64_t made = 0;
+      for (size_t t = w; t < num_tenants; t += num_threads) {
+        for (const fleet::QueryEvent& event : instances[t].trace) {
+          const core::QueryContext context = core::MakeQueryContext(
+              event.plan, event.concurrent_queries,
+              static_cast<uint64_t>(event.arrival_ms));
+          service.Predict(t, context);
+          service.Observe(t, context, event.exec_seconds);
+          ++made;
+        }
+      }
+      predictions.fetch_add(made, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  service.WaitForRetrain();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::printf("fleet-serve: %zu tenants, %zu threads, %llu predictions in "
+              "%.2fs (%.0f/s)\n",
+              num_tenants, num_threads,
+              static_cast<unsigned long long>(predictions.load()), elapsed,
+              static_cast<double>(predictions.load()) / elapsed);
+  std::printf("warm %zu/%zu, resident %.1f MiB, evictions %llu, "
+              "cold activations %llu\n",
+              service.WarmCount(), service.TenantCount(),
+              static_cast<double>(service.ResidentBytes()) / (1024 * 1024),
+              static_cast<unsigned long long>(service.evictions()),
+              static_cast<unsigned long long>(service.cold_activations()));
+  std::printf("\n== Activation latency by source ==\n%s",
+              service.activation_latency()
+                  .RenderTable({"parked", "file", "fresh"}, elapsed)
+                  .c_str());
+
+  const std::string snapshot_out = flags.GetString("out", "");
+  if (!snapshot_out.empty()) {
+    std::string error;
+    if (!service.SaveSnapshot(snapshot_out, &error)) {
+      std::fprintf(stderr, "error: fleet snapshot failed: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[stage_sim] fleet snapshot written to %s\n",
+                 snapshot_out.c_str());
+  }
+  const std::string metrics_out = flags.GetString("metrics_out", "");
+  if (!metrics_out.empty() && !DumpMetrics(registry, metrics_out)) return 1;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -584,6 +687,7 @@ int main(int argc, char** argv) {
   if (command == "serve") return RunServe(flags);
   if (command == "snapshot") return RunSnapshot(flags);
   if (command == "stats") return RunStats(flags);
+  if (command == "fleet-serve") return RunFleetServe(flags);
   std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
   PrintUsage();
   return 1;
