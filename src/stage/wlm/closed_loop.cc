@@ -1,0 +1,112 @@
+#include "stage/wlm/closed_loop.h"
+
+#include <algorithm>
+
+#include "stage/common/macros.h"
+#include "stage/wlm/sim_engine.h"
+
+namespace stage::wlm {
+
+double ClosedLoopResult::SloViolationRate() const {
+  if (wlm.latency_seconds.empty()) return 0.0;
+  return static_cast<double>(slo_violations) /
+         static_cast<double>(wlm.latency_seconds.size());
+}
+
+ClosedLoopResult SimulateClosedLoop(
+    const std::vector<fleet::QueryEvent>& trace,
+    core::ExecTimePredictor* predictor, const ClosedLoopConfig& config) {
+  const size_t n = trace.size();
+  ClosedLoopResult result;
+  result.slo_factor = config.slo_factor;
+  result.predicted_seconds.assign(n, 0.0);
+  result.sources.assign(n, core::PredictionSource::kDefault);
+
+  // Featurize once: the same context object is used for the admission-time
+  // Predict and the completion-time Observe, exactly like the production
+  // predict/execute/observe flow.
+  std::vector<core::QueryContext> contexts;
+  contexts.reserve(n);
+  for (const fleet::QueryEvent& event : trace) {
+    contexts.push_back(core::MakeQueryContext(
+        event.plan, event.concurrent_queries,
+        static_cast<uint64_t>(event.arrival_ms)));
+  }
+
+  obs::Counter* admissions = nullptr;
+  obs::Counter* completions = nullptr;
+  obs::Counter* offloads = nullptr;
+  obs::Counter* slo_misses = nullptr;
+  obs::Gauge* queue_depth = nullptr;
+  obs::Gauge* max_depth_gauge = nullptr;
+  if (config.metrics != nullptr) {
+    const std::string& p = config.metrics_prefix;
+    admissions = &config.metrics->GetCounter(p + "admissions_total");
+    completions = &config.metrics->GetCounter(p + "completions_total");
+    offloads = &config.metrics->GetCounter(p + "scaling_offloads_total");
+    slo_misses = &config.metrics->GetCounter(p + "slo_misses_total");
+    queue_depth = &config.metrics->GetGauge(p + "queue_depth");
+    max_depth_gauge = &config.metrics->GetGauge(p + "max_queue_depth");
+  }
+
+  uint64_t admitted = 0;
+  uint64_t started = 0;
+  const auto update_depth = [&] {
+    const uint64_t depth = admitted - started;
+    result.max_queue_depth = std::max(result.max_queue_depth, depth);
+    if (queue_depth != nullptr) {
+      queue_depth->Set(static_cast<double>(depth));
+    }
+  };
+
+  SimHooks hooks;
+  hooks.predict = [&](int query, double /*now*/) {
+    double seconds;
+    if (predictor == nullptr) {
+      seconds = trace[query].exec_seconds;  // Oracle: schedule on truth.
+    } else {
+      const core::Prediction prediction = predictor->Predict(contexts[query]);
+      seconds = prediction.seconds;
+      result.sources[query] = prediction.source;
+      ++result.source_counts[static_cast<int>(prediction.source)];
+    }
+    result.predicted_seconds[query] = seconds;
+    ++admitted;
+    if (admissions != nullptr) admissions->Increment();
+    update_depth();
+    return seconds;
+  };
+  hooks.on_start = [&](int /*query*/, int /*pool*/, double /*now*/) {
+    ++started;
+    update_depth();
+  };
+  hooks.on_complete = [&](int query, double now) {
+    // Observe-on-completion: the cache and local model see the measured
+    // exec-time the instant the query finishes, mid-run.
+    if (predictor != nullptr) {
+      predictor->Observe(contexts[query], trace[query].exec_seconds);
+    }
+    if (completions != nullptr) completions->Increment();
+    if (config.slo_factor > 0.0) {
+      const double latency =
+          now - static_cast<double>(trace[query].arrival_ms) / 1000.0;
+      if (latency > config.slo_factor * trace[query].exec_seconds) {
+        ++result.slo_violations;
+        if (slo_misses != nullptr) slo_misses->Increment();
+      }
+    }
+  };
+
+  result.wlm = RunWlmSimulation(trace, config.wlm, hooks);
+  STAGE_CHECK(admitted == n && started == n);
+
+  if (offloads != nullptr && result.wlm.scaling_offloads > 0) {
+    offloads->Increment(static_cast<uint64_t>(result.wlm.scaling_offloads));
+  }
+  if (max_depth_gauge != nullptr) {
+    max_depth_gauge->Set(static_cast<double>(result.max_queue_depth));
+  }
+  return result;
+}
+
+}  // namespace stage::wlm

@@ -1,0 +1,255 @@
+#include "stage/wlm/sim_engine.h"
+
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "stage/common/macros.h"
+
+namespace stage::wlm {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class QueryState : uint8_t {
+  kQueuedShort,
+  kQueuedLong,
+  kQueuedScaling,
+  kRunning,
+  kDone,
+};
+
+enum Pool { kShort = 0, kLong = 1, kScaling = 2, kNumPools = 3 };
+
+struct Simulation {
+  Simulation(const std::vector<fleet::QueryEvent>& trace_in,
+             const WlmConfig& config_in, const SimHooks& hooks_in)
+      : trace(trace_in), config(config_in), hooks(hooks_in) {}
+
+  const std::vector<fleet::QueryEvent>& trace;
+  const WlmConfig& config;
+  const SimHooks& hooks;
+  WlmResult result;
+
+  std::vector<QueryState> state;
+  std::vector<int8_t> run_pool;  // Pool each running query occupies.
+  std::vector<double> arrival;
+  // Sanitized admission-time prediction per query (the SJF key).
+  std::vector<double> predicted;
+  int busy[kNumPools] = {0, 0, 0};
+
+  // Min-heaps on (predicted exec-time, arrival order): shortest-job-first.
+  std::priority_queue<std::pair<double, int>,
+                      std::vector<std::pair<double, int>>,
+                      std::greater<>>
+      short_queue_sjf;
+  std::deque<int> short_queue_fifo;
+  std::priority_queue<std::pair<double, int>,
+                      std::vector<std::pair<double, int>>,
+                      std::greater<>>
+      long_queue_sjf;
+  std::deque<int> long_queue_fifo;
+  // The scaling cluster applies the same shortest-job-first policy as the
+  // long queue: offload exists to rescue queries stuck behind a clog, so
+  // rescued short-predicted queries must not re-queue behind off-loaded
+  // monsters.
+  std::priority_queue<std::pair<double, int>,
+                      std::vector<std::pair<double, int>>,
+                      std::greater<>>
+      scaling_queue;
+
+  // Min-heap of (completion time, query).
+  std::priority_queue<std::pair<double, int>,
+                      std::vector<std::pair<double, int>>, std::greater<>>
+      completions;
+  // Min-heap of (scaling deadline, query).
+  std::priority_queue<std::pair<double, int>,
+                      std::vector<std::pair<double, int>>, std::greater<>>
+      deadlines;
+
+  int PoolSlots(int pool) const {
+    switch (pool) {
+      case kShort: return config.short_slots;
+      case kLong: return config.long_slots;
+      case kScaling: return config.scaling_slots;
+      default: STAGE_CHECK_MSG(false, "invalid pool"); return 0;
+    }
+  }
+
+  void Start(int query, int pool, double now) {
+    state[query] = QueryState::kRunning;
+    run_pool[query] = static_cast<int8_t>(pool);
+    result.pool[query] = static_cast<WlmResult::Pool>(pool);
+    ++busy[pool];
+    const double wait = now - arrival[query];
+    STAGE_DCHECK(wait >= -1e-9);
+    result.wait_seconds[query] = wait < 0.0 ? 0.0 : wait;
+    completions.emplace(now + trace[query].exec_seconds, query);
+    if (hooks.on_start) hooks.on_start(query, pool, now);
+  }
+
+  void Dispatch(int pool, double now) {
+    while (busy[pool] < PoolSlots(pool)) {
+      int query = -1;
+      if (pool == kShort) {
+        if (config.sjf_short_queue) {
+          while (!short_queue_sjf.empty()) {
+            const int candidate = short_queue_sjf.top().second;
+            short_queue_sjf.pop();
+            if (state[candidate] == QueryState::kQueuedShort) {
+              query = candidate;
+              break;
+            }
+          }
+        } else {
+          while (!short_queue_fifo.empty()) {
+            const int candidate = short_queue_fifo.front();
+            short_queue_fifo.pop_front();
+            if (state[candidate] == QueryState::kQueuedShort) {
+              query = candidate;
+              break;
+            }
+          }
+        }
+      } else if (pool == kLong) {
+        if (config.sjf_long_queue) {
+          while (!long_queue_sjf.empty()) {
+            const int candidate = long_queue_sjf.top().second;
+            long_queue_sjf.pop();
+            if (state[candidate] == QueryState::kQueuedLong) {
+              query = candidate;
+              break;
+            }
+          }
+        } else {
+          while (!long_queue_fifo.empty()) {
+            const int candidate = long_queue_fifo.front();
+            long_queue_fifo.pop_front();
+            if (state[candidate] == QueryState::kQueuedLong) {
+              query = candidate;
+              break;
+            }
+          }
+        }
+      } else {
+        while (!scaling_queue.empty()) {
+          const int candidate = scaling_queue.top().second;
+          scaling_queue.pop();
+          if (state[candidate] == QueryState::kQueuedScaling) {
+            query = candidate;
+            break;
+          }
+        }
+      }
+      if (query < 0) return;
+      Start(query, pool, now);
+    }
+  }
+
+  void DispatchAll(double now) {
+    Dispatch(kShort, now);
+    Dispatch(kLong, now);
+    if (config.enable_concurrency_scaling) Dispatch(kScaling, now);
+  }
+
+  void Admit(int query, double now) {
+    double seconds = hooks.predict(query, now);
+    // NaN never compares, so a NaN key silently breaks the SJF heap's
+    // ordering invariant (and `NaN < threshold` would misroute the query);
+    // fail loudly instead. Negative predictions carry no scheduling
+    // meaning beyond "very short" — clamp to 0.
+    STAGE_CHECK_MSG(!std::isnan(seconds), "NaN predicted exec-time");
+    if (seconds < 0.0) seconds = 0.0;
+    predicted[query] = seconds;
+    if (seconds < config.short_threshold_seconds) {
+      state[query] = QueryState::kQueuedShort;
+      if (config.sjf_short_queue) {
+        short_queue_sjf.emplace(seconds, query);
+      } else {
+        short_queue_fifo.push_back(query);
+      }
+      ++result.short_queue_admissions;
+    } else {
+      state[query] = QueryState::kQueuedLong;
+      if (config.sjf_long_queue) {
+        long_queue_sjf.emplace(seconds, query);
+      } else {
+        long_queue_fifo.push_back(query);
+      }
+      ++result.long_queue_admissions;
+    }
+    if (config.enable_concurrency_scaling) {
+      deadlines.emplace(now + config.scaling_wait_threshold_seconds, query);
+    }
+    DispatchAll(now);
+  }
+
+  void Run() {
+    const size_t n = trace.size();
+    size_t next_arrival = 0;
+    size_t completed = 0;
+    while (completed < n) {
+      const double t_arrival =
+          next_arrival < n ? arrival[next_arrival] : kInf;
+      const double t_completion =
+          completions.empty() ? kInf : completions.top().first;
+      const double t_deadline =
+          deadlines.empty() ? kInf : deadlines.top().first;
+
+      if (t_completion <= t_arrival && t_completion <= t_deadline) {
+        const auto [now, query] = completions.top();
+        completions.pop();
+        state[query] = QueryState::kDone;
+        result.latency_seconds[query] = now - arrival[query];
+        ++completed;
+        --busy[run_pool[query]];
+        if (hooks.on_complete) hooks.on_complete(query, now);
+        DispatchAll(now);
+      } else if (t_deadline < t_arrival) {
+        const auto [now, query] = deadlines.top();
+        deadlines.pop();
+        if (state[query] == QueryState::kQueuedShort ||
+            state[query] == QueryState::kQueuedLong) {
+          state[query] = QueryState::kQueuedScaling;
+          scaling_queue.emplace(predicted[query], query);
+          ++result.scaling_offloads;
+          Dispatch(kScaling, now);
+        }
+      } else {
+        STAGE_CHECK(next_arrival < n);
+        Admit(static_cast<int>(next_arrival), t_arrival);
+        ++next_arrival;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+WlmResult RunWlmSimulation(const std::vector<fleet::QueryEvent>& trace,
+                           const WlmConfig& config, const SimHooks& hooks) {
+  STAGE_CHECK(hooks.predict != nullptr);
+  STAGE_CHECK(config.short_slots > 0 && config.long_slots > 0);
+  STAGE_CHECK(!config.enable_concurrency_scaling || config.scaling_slots > 0);
+
+  Simulation sim(trace, config, hooks);
+  const size_t n = trace.size();
+  sim.result.latency_seconds.assign(n, 0.0);
+  sim.result.wait_seconds.assign(n, 0.0);
+  sim.result.pool.assign(n, WlmResult::Pool::kShort);
+  sim.state.assign(n, QueryState::kQueuedShort);
+  sim.run_pool.assign(n, -1);
+  sim.predicted.assign(n, 0.0);
+  sim.arrival.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    sim.arrival[i] = static_cast<double>(trace[i].arrival_ms) / 1000.0;
+    if (i > 0) STAGE_CHECK(trace[i].arrival_ms >= trace[i - 1].arrival_ms);
+  }
+  sim.Run();
+  return sim.result;
+}
+
+}  // namespace stage::wlm

@@ -1,0 +1,52 @@
+#ifndef STAGE_WLM_SIM_ENGINE_H_
+#define STAGE_WLM_SIM_ENGINE_H_
+
+#include <functional>
+#include <vector>
+
+#include "stage/fleet/workload.h"
+#include "stage/wlm/workload_manager.h"
+
+namespace stage::wlm {
+
+// Hooks that parameterize one event-driven WLM simulation run. This engine
+// is the single scheduling core shared by the open-loop SimulateWlm
+// (predictions precomputed before the run) and the closed-loop simulator
+// (predictions sampled from a live predictor at admission, observed back on
+// completion) — sharing it is what makes "closed loop with a frozen
+// predictor == open loop, bit for bit" a structural property instead of a
+// test hope.
+struct SimHooks {
+  // Required. Called exactly once per query, at its admission instant, in
+  // arrival order. Returns the predicted exec-time that drives queue
+  // routing (short/long split) and SJF ordering. The engine sanitizes the
+  // returned value: NaN is a fatal error (a NaN SJF key would break the
+  // priority queue's strict-weak-ordering invariant and silently corrupt
+  // dispatch order), negative values clamp to 0.
+  std::function<double(int query, double now)> predict;
+
+  // Optional. Called when a query leaves its queue and starts executing on
+  // `pool` (a WlmResult::Pool value), after the slot is taken and the wait
+  // recorded.
+  std::function<void(int query, int pool, double now)> on_start;
+
+  // Optional. Called when a query completes — after its latency is
+  // recorded and its slot freed, before the freed slot is re-dispatched.
+  // This is the closed-loop hook point where the measured exec-time is
+  // observed back into the predictor, so queries admitted later in
+  // simulated time see the updated model.
+  std::function<void(int query, double now)> on_complete;
+};
+
+// Runs the event-driven WLM queue simulation (§5.2 discipline: dedicated
+// FIFO short pool, SJF long pool, optional concurrency-scaling offload)
+// over `trace`, which must be sorted by arrival. Scheduling decisions use
+// only hook-provided predictions; execution durations always come from the
+// logged exec_seconds (predictions change queueing, never work, exactly as
+// in the paper's counterfactual replay).
+WlmResult RunWlmSimulation(const std::vector<fleet::QueryEvent>& trace,
+                           const WlmConfig& config, const SimHooks& hooks);
+
+}  // namespace stage::wlm
+
+#endif  // STAGE_WLM_SIM_ENGINE_H_

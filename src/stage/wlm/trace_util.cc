@@ -37,6 +37,11 @@ std::vector<fleet::QueryEvent> CompressToUtilization(
     double target_utilization) {
   STAGE_CHECK(target_utilization > 0.0);
   const double current = TraceUtilization(trace, total_slots);
+  // Degenerate traces (fewer than 2 queries, or zero total exec-time)
+  // report utilization 0; dividing by it would hand CompressArrivals an
+  // infinite factor and collapse every arrival to t=0. There is no
+  // timeline to compress — return them unchanged.
+  if (current <= 0.0) return trace;
   if (current >= target_utilization) return trace;
   return CompressArrivals(trace, target_utilization / current);
 }

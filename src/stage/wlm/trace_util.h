@@ -20,6 +20,9 @@ std::vector<fleet::QueryEvent> CompressArrivals(
 
 // Compresses the trace so its utilization on `total_slots` slots hits
 // `target_utilization` (no-op if it is already at least that loaded).
+// Degenerate traces — fewer than 2 queries, or zero total exec-time, i.e.
+// TraceUtilization() == 0 — are returned unchanged: there is no timeline
+// to compress.
 std::vector<fleet::QueryEvent> CompressToUtilization(
     const std::vector<fleet::QueryEvent>& trace, int total_slots,
     double target_utilization);

@@ -1,224 +1,31 @@
 #include "stage/wlm/workload_manager.h"
 
-#include <deque>
-#include <limits>
-#include <queue>
-
 #include "stage/common/macros.h"
 #include "stage/common/stats.h"
+#include "stage/wlm/sim_engine.h"
 
 namespace stage::wlm {
-
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-enum class QueryState : uint8_t {
-  kQueuedShort,
-  kQueuedLong,
-  kQueuedScaling,
-  kRunning,
-  kDone,
-};
-
-enum Pool { kShort = 0, kLong = 1, kScaling = 2, kNumPools = 3 };
-
-struct Simulation {
-  Simulation(const std::vector<fleet::QueryEvent>& trace_in,
-             const std::vector<double>& predicted_in,
-             const WlmConfig& config_in)
-      : trace(trace_in), predicted(predicted_in), config(config_in) {}
-
-  const std::vector<fleet::QueryEvent>& trace;
-  const std::vector<double>& predicted;
-  const WlmConfig& config;
-  WlmResult result;
-
-  std::vector<QueryState> state;
-  std::vector<int8_t> run_pool;  // Pool each running query occupies.
-  std::vector<double> arrival;
-  int busy[kNumPools] = {0, 0, 0};
-
-  std::deque<int> short_queue;
-  // Min-heap on (predicted exec-time, arrival order): shortest-job-first.
-  std::priority_queue<std::pair<double, int>,
-                      std::vector<std::pair<double, int>>,
-                      std::greater<>>
-      long_queue_sjf;
-  std::deque<int> long_queue_fifo;
-  std::deque<int> scaling_queue;
-
-  // Min-heap of (completion time, query).
-  std::priority_queue<std::pair<double, int>,
-                      std::vector<std::pair<double, int>>, std::greater<>>
-      completions;
-  // Min-heap of (scaling deadline, query).
-  std::priority_queue<std::pair<double, int>,
-                      std::vector<std::pair<double, int>>, std::greater<>>
-      deadlines;
-
-  int PoolSlots(int pool) const {
-    switch (pool) {
-      case kShort: return config.short_slots;
-      case kLong: return config.long_slots;
-      case kScaling: return config.scaling_slots;
-      default: STAGE_CHECK_MSG(false, "invalid pool"); return 0;
-    }
-  }
-
-  void Start(int query, int pool, double now) {
-    state[query] = QueryState::kRunning;
-    run_pool[query] = static_cast<int8_t>(pool);
-    result.pool[query] = static_cast<WlmResult::Pool>(pool);
-    ++busy[pool];
-    const double wait = now - arrival[query];
-    STAGE_DCHECK(wait >= -1e-9);
-    result.wait_seconds[query] = wait < 0.0 ? 0.0 : wait;
-    completions.emplace(now + trace[query].exec_seconds, query);
-  }
-
-  void Dispatch(int pool, double now) {
-    while (busy[pool] < PoolSlots(pool)) {
-      int query = -1;
-      if (pool == kShort) {
-        while (!short_queue.empty()) {
-          const int candidate = short_queue.front();
-          short_queue.pop_front();
-          if (state[candidate] == QueryState::kQueuedShort) {
-            query = candidate;
-            break;
-          }
-        }
-      } else if (pool == kLong) {
-        if (config.sjf_long_queue) {
-          while (!long_queue_sjf.empty()) {
-            const int candidate = long_queue_sjf.top().second;
-            long_queue_sjf.pop();
-            if (state[candidate] == QueryState::kQueuedLong) {
-              query = candidate;
-              break;
-            }
-          }
-        } else {
-          while (!long_queue_fifo.empty()) {
-            const int candidate = long_queue_fifo.front();
-            long_queue_fifo.pop_front();
-            if (state[candidate] == QueryState::kQueuedLong) {
-              query = candidate;
-              break;
-            }
-          }
-        }
-      } else {
-        while (!scaling_queue.empty()) {
-          const int candidate = scaling_queue.front();
-          scaling_queue.pop_front();
-          if (state[candidate] == QueryState::kQueuedScaling) {
-            query = candidate;
-            break;
-          }
-        }
-      }
-      if (query < 0) return;
-      Start(query, pool, now);
-    }
-  }
-
-  void DispatchAll(double now) {
-    Dispatch(kShort, now);
-    Dispatch(kLong, now);
-    if (config.enable_concurrency_scaling) Dispatch(kScaling, now);
-  }
-
-  void Admit(int query, double now) {
-    if (predicted[query] < config.short_threshold_seconds) {
-      state[query] = QueryState::kQueuedShort;
-      short_queue.push_back(query);
-      ++result.short_queue_admissions;
-    } else {
-      state[query] = QueryState::kQueuedLong;
-      if (config.sjf_long_queue) {
-        long_queue_sjf.emplace(predicted[query], query);
-      } else {
-        long_queue_fifo.push_back(query);
-      }
-      ++result.long_queue_admissions;
-    }
-    if (config.enable_concurrency_scaling) {
-      deadlines.emplace(now + config.scaling_wait_threshold_seconds, query);
-    }
-    DispatchAll(now);
-  }
-
-  void Run() {
-    const size_t n = trace.size();
-    size_t next_arrival = 0;
-    size_t completed = 0;
-    while (completed < n) {
-      const double t_arrival =
-          next_arrival < n ? arrival[next_arrival] : kInf;
-      const double t_completion =
-          completions.empty() ? kInf : completions.top().first;
-      const double t_deadline =
-          deadlines.empty() ? kInf : deadlines.top().first;
-
-      if (t_completion <= t_arrival && t_completion <= t_deadline) {
-        const auto [now, query] = completions.top();
-        completions.pop();
-        state[query] = QueryState::kDone;
-        result.latency_seconds[query] = now - arrival[query];
-        ++completed;
-        --busy[run_pool[query]];
-        DispatchAll(now);
-      } else if (t_deadline < t_arrival) {
-        const auto [now, query] = deadlines.top();
-        deadlines.pop();
-        if (state[query] == QueryState::kQueuedShort ||
-            state[query] == QueryState::kQueuedLong) {
-          state[query] = QueryState::kQueuedScaling;
-          scaling_queue.push_back(query);
-          ++result.scaling_offloads;
-          Dispatch(kScaling, now);
-        }
-      } else {
-        STAGE_CHECK(next_arrival < n);
-        Admit(static_cast<int>(next_arrival), t_arrival);
-        ++next_arrival;
-      }
-    }
-  }
-};
-
-}  // namespace
 
 double WlmResult::AverageLatency() const {
   return latency_seconds.empty() ? 0.0 : Mean(latency_seconds);
 }
 
 double WlmResult::LatencyQuantile(double q) const {
-  return Quantile(latency_seconds, q);
+  return latency_seconds.empty() ? 0.0 : Quantile(latency_seconds, q);
 }
 
 WlmResult SimulateWlm(const std::vector<fleet::QueryEvent>& trace,
                       const std::vector<double>& predicted_seconds,
                       const WlmConfig& config) {
   STAGE_CHECK(trace.size() == predicted_seconds.size());
-  STAGE_CHECK(config.short_slots > 0 && config.long_slots > 0);
-
-  Simulation sim(trace, predicted_seconds, config);
-  const size_t n = trace.size();
-  sim.result.latency_seconds.assign(n, 0.0);
-  sim.result.wait_seconds.assign(n, 0.0);
-  sim.result.pool.assign(n, WlmResult::Pool::kShort);
-  sim.state.assign(n, QueryState::kQueuedShort);
-  sim.run_pool.assign(n, -1);
-  sim.arrival.resize(n);
-  for (size_t i = 0; i < n; ++i) {
-    sim.arrival[i] = static_cast<double>(trace[i].arrival_ms) / 1000.0;
-    if (i > 0) STAGE_CHECK(trace[i].arrival_ms >= trace[i - 1].arrival_ms);
-  }
-  sim.Run();
-  return sim.result;
+  SimHooks hooks;
+  // The engine sanitizes each prediction at admission (NaN is fatal,
+  // negatives clamp to 0), so open loop and closed loop validate at the
+  // same entry point.
+  hooks.predict = [&predicted_seconds](int query, double /*now*/) {
+    return predicted_seconds[query];
+  };
+  return RunWlmSimulation(trace, config, hooks);
 }
 
 }  // namespace stage::wlm

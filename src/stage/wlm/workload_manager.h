@@ -8,7 +8,7 @@
 namespace stage::wlm {
 
 // Queue discipline of the simulated Redshift workload manager ([50]):
-// short-predicted queries get a dedicated slot pool with FIFO order;
+// short-predicted queries get a dedicated slot pool, FIFO by default;
 // everything else enters the long queue ordered by predicted exec-time
 // (shortest-job-first). Optionally, long-waiting queries burst onto a
 // concurrency-scaling cluster.
@@ -18,6 +18,11 @@ struct WlmConfig {
   // Predicted exec-time below this routes a query to the short queue.
   double short_threshold_seconds = 5.0;
   bool sjf_long_queue = true;
+  // Order the short queue by predicted exec-time as well. Redshift's SQA
+  // queue is FIFO, which is fine when predictions are noisy; with an
+  // accurate predictor SJF lets the accuracy pay off in the pool where
+  // most queries live. Off by default to preserve the paper's discipline.
+  bool sjf_short_queue = false;
 
   bool enable_concurrency_scaling = false;
   // A queued query that has waited this long is off-loaded to a scaling
@@ -39,6 +44,7 @@ struct WlmResult {
   int long_queue_admissions = 0;
   int scaling_offloads = 0;
 
+  // Both return 0 on an empty result.
   double AverageLatency() const;
   double LatencyQuantile(double q) const;
 };
@@ -49,6 +55,8 @@ struct WlmResult {
 // ordering are driven by `predicted_seconds`.
 //
 // `trace` must be sorted by arrival; `predicted_seconds` is parallel to it.
+// Predictions are validated at entry: a NaN is a fatal error (it would
+// break the SJF heap's ordering invariant), negatives clamp to 0.
 WlmResult SimulateWlm(const std::vector<fleet::QueryEvent>& trace,
                       const std::vector<double>& predicted_seconds,
                       const WlmConfig& config);

@@ -1,8 +1,10 @@
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
 #include "stage/common/rng.h"
+#include "stage/wlm/sim_engine.h"
 #include "stage/wlm/trace_util.h"
 #include "stage/wlm/workload_manager.h"
 
@@ -111,6 +113,27 @@ TEST(WlmTest, SjfOrdersLongQueueByPrediction) {
   // FIFO: query 1 runs before query 2.
   EXPECT_LT(fifo.latency_seconds[1] - 30.0,
             fifo.latency_seconds[2] - 10.0 + 1e-9);
+}
+
+TEST(WlmTest, SjfOrdersShortQueueByPrediction) {
+  // Three short queries arrive while the short slot is busy. With
+  // sjf_short_queue the shortest-predicted runs first; FIFO preserves
+  // arrival order.
+  const auto trace =
+      MakeTrace({{0, 4.0}, {100, 3.0}, {101, 1.0}, {102, 2.0}});
+  WlmConfig config = BasicConfig();
+  const std::vector<double> oracle = {4.0, 3.0, 1.0, 2.0};
+
+  config.sjf_short_queue = true;
+  const WlmResult sjf = SimulateWlm(trace, oracle, config);
+  // Query 2 (1s) finishes before query 1 (3s) despite arriving later.
+  EXPECT_LT(sjf.latency_seconds[2] + 0.5, sjf.latency_seconds[1]);
+
+  config.sjf_short_queue = false;
+  const WlmResult fifo = SimulateWlm(trace, oracle, config);
+  // FIFO: query 1 starts before query 2.
+  EXPECT_LT(fifo.latency_seconds[1] - 3.0,
+            fifo.latency_seconds[2] - 1.0 + 1e-9);
 }
 
 TEST(WlmTest, BetterPredictionsDoNotHurtAverageLatency) {
@@ -297,6 +320,169 @@ TEST(WlmTest, QuantileAndAverageAccessors) {
   result.latency_seconds = {1.0, 2.0, 3.0, 4.0};
   EXPECT_DOUBLE_EQ(result.AverageLatency(), 2.5);
   EXPECT_DOUBLE_EQ(result.LatencyQuantile(0.5), 2.5);
+}
+
+// Regression: LatencyQuantile on an empty result used to trip the
+// non-empty STAGE_CHECK inside Quantile and abort; it now mirrors
+// AverageLatency's empty guard.
+TEST(WlmTest, EmptyResultAccessorsReturnZero) {
+  const WlmResult result;
+  EXPECT_DOUBLE_EQ(result.AverageLatency(), 0.0);
+  EXPECT_DOUBLE_EQ(result.LatencyQuantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(result.LatencyQuantile(0.99), 0.0);
+}
+
+// Regression: traces with <2 queries (or zero total exec-time) have
+// TraceUtilization()==0; CompressToUtilization used to divide by it and
+// pass an infinite factor to CompressArrivals, collapsing every arrival to
+// t=0. Degenerate traces now come back unchanged.
+TEST(TraceUtilTest, DegenerateTracesReturnedUnchanged) {
+  const std::vector<fleet::QueryEvent> empty;
+  EXPECT_TRUE(CompressToUtilization(empty, 4, 0.8).empty());
+
+  const auto one = MakeTrace({{12345, 3.0}});
+  const auto compressed_one = CompressToUtilization(one, 4, 0.8);
+  ASSERT_EQ(compressed_one.size(), 1u);
+  EXPECT_EQ(compressed_one[0].arrival_ms, 12345);
+
+  // Zero-work traces have a span but no load to scale.
+  const auto zeros = MakeTrace({{0, 0.0}, {10000, 0.0}});
+  const auto compressed_zeros = CompressToUtilization(zeros, 4, 0.8);
+  ASSERT_EQ(compressed_zeros.size(), 2u);
+  EXPECT_EQ(compressed_zeros[1].arrival_ms, 10000);
+}
+
+// Regression: negative predictions used to enter the SJF heap and the
+// short/long split as-is; they now clamp to 0 at the engine's admission
+// point, behaving exactly like a 0-second prediction.
+TEST(WlmTest, NegativePredictionsClampToZero) {
+  const auto trace = MakeTrace({{0, 1.0}, {0, 2.0}, {1, 0.5}});
+  const WlmConfig config = BasicConfig();
+  const WlmResult negative = SimulateWlm(trace, {-5.0, -1.0, -0.1}, config);
+  const WlmResult zero = SimulateWlm(trace, {0.0, 0.0, 0.0}, config);
+  EXPECT_EQ(negative.latency_seconds, zero.latency_seconds);
+  EXPECT_EQ(negative.wait_seconds, zero.wait_seconds);
+  EXPECT_EQ(negative.short_queue_admissions, zero.short_queue_admissions);
+  EXPECT_EQ(negative.long_queue_admissions, zero.long_queue_admissions);
+}
+
+// Regression: a NaN prediction neither routes (NaN < threshold is false)
+// nor sorts (NaN breaks the priority queue's strict weak ordering); it is
+// now rejected loudly at admission instead of corrupting dispatch order.
+TEST(WlmDeathTest, NanPredictionIsFatal) {
+  const auto trace = MakeTrace({{0, 1.0}});
+  const std::vector<double> nan_prediction = {
+      std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_DEATH(SimulateWlm(trace, nan_prediction, BasicConfig()),
+               "NaN predicted exec-time");
+}
+
+// Property: with slots for everyone, no query ever waits.
+TEST(WlmTest, UnboundedSlotsGiveZeroWait) {
+  Rng rng(31);
+  std::vector<std::pair<int64_t, double>> spec;
+  int64_t t = 0;
+  for (int i = 0; i < 200; ++i) {
+    t += static_cast<int64_t>(rng.NextExponential(0.01));
+    spec.emplace_back(t, rng.NextLogNormal(0.5, 1.5));
+  }
+  const auto trace = MakeTrace(spec);
+  std::vector<double> predictions;
+  Rng rng2(32);
+  for (const auto& event : trace) {
+    predictions.push_back(event.exec_seconds * rng2.NextLogNormal(0.0, 0.5));
+  }
+  WlmConfig config;
+  config.short_slots = static_cast<int>(trace.size());
+  config.long_slots = static_cast<int>(trace.size());
+  const WlmResult result = SimulateWlm(trace, predictions, config);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.wait_seconds[i], 0.0) << "query " << i;
+    EXPECT_NEAR(result.latency_seconds[i], trace[i].exec_seconds, 1e-9);
+  }
+}
+
+// Property: when every prediction is identical, the SJF heap's
+// (key, arrival-index) tie-break degenerates to arrival order, so SJF and
+// FIFO long queues produce bit-for-bit the same schedule.
+TEST(WlmTest, SjfMatchesFifoWhenAllPredictionsEqual) {
+  Rng rng(33);
+  std::vector<std::pair<int64_t, double>> spec;
+  int64_t t = 0;
+  for (int i = 0; i < 300; ++i) {
+    t += static_cast<int64_t>(rng.NextExponential(0.002));
+    spec.emplace_back(t, rng.NextLogNormal(1.0, 1.0));
+  }
+  const auto trace = MakeTrace(spec);
+  // All long-queue (above the 5s threshold), all equal.
+  const std::vector<double> predictions(trace.size(), 42.0);
+  WlmConfig config = BasicConfig();
+  config.long_slots = 2;
+  config.sjf_long_queue = true;
+  const WlmResult sjf = SimulateWlm(trace, predictions, config);
+  config.sjf_long_queue = false;
+  const WlmResult fifo = SimulateWlm(trace, predictions, config);
+  EXPECT_EQ(sjf.latency_seconds, fifo.latency_seconds);
+  EXPECT_EQ(sjf.wait_seconds, fifo.wait_seconds);
+  EXPECT_EQ(sjf.pool, fifo.pool);
+}
+
+// Property, via the engine hooks: every query is predicted, started, and
+// completed exactly once, and busy slots never exceed a pool's capacity at
+// any event instant (scaling pool included).
+TEST(WlmTest, EngineHooksFireOncePerQueryAndRespectCapacity) {
+  Rng rng(41);
+  std::vector<std::pair<int64_t, double>> spec;
+  int64_t t = 0;
+  for (int i = 0; i < 400; ++i) {
+    t += static_cast<int64_t>(rng.NextExponential(0.004));
+    spec.emplace_back(t, rng.NextLogNormal(0.5, 1.5));
+  }
+  const auto trace = MakeTrace(spec);
+  WlmConfig config;
+  config.short_slots = 2;
+  config.long_slots = 2;
+  config.enable_concurrency_scaling = true;
+  config.scaling_wait_threshold_seconds = 30.0;
+  config.scaling_slots = 2;
+
+  const int slots[3] = {config.short_slots, config.long_slots,
+                        config.scaling_slots};
+  std::vector<int> predicted_calls(trace.size(), 0);
+  std::vector<int> started(trace.size(), 0);
+  std::vector<int> completed(trace.size(), 0);
+  std::vector<int> pool_of(trace.size(), -1);
+  int busy[3] = {0, 0, 0};
+
+  Rng rng2(42);
+  std::vector<double> predictions;
+  for (const auto& event : trace) {
+    predictions.push_back(event.exec_seconds * rng2.NextLogNormal(0.0, 0.7));
+  }
+  SimHooks hooks;
+  hooks.predict = [&](int query, double) {
+    ++predicted_calls[query];
+    return predictions[query];
+  };
+  hooks.on_start = [&](int query, int pool, double) {
+    ++started[query];
+    pool_of[query] = pool;
+    ++busy[pool];
+    ASSERT_LE(busy[pool], slots[pool]) << "query " << query;
+  };
+  hooks.on_complete = [&](int query, double) {
+    ++completed[query];
+    ASSERT_GE(pool_of[query], 0);
+    --busy[pool_of[query]];
+  };
+  const WlmResult result = RunWlmSimulation(trace, config, hooks);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(predicted_calls[i], 1) << "query " << i;
+    EXPECT_EQ(started[i], 1) << "query " << i;
+    EXPECT_EQ(completed[i], 1) << "query " << i;
+    EXPECT_EQ(pool_of[i], static_cast<int>(result.pool[i]));
+  }
+  EXPECT_EQ(busy[0] + busy[1] + busy[2], 0);
 }
 
 }  // namespace

@@ -64,6 +64,17 @@ else
 fi
 echo "=== bench JSON OK: ${fleet_bench_json} ==="
 
+echo "=== [release] closed-loop WLM bench smoke (STAGE_BENCH_FAST=1) ==="
+(cd "${repo_root}/build-check-release/bench" && \
+  STAGE_BENCH_FAST=1 ./bench_wlm_closed_loop)
+wlm_bench_json="${repo_root}/build-check-release/bench/BENCH_wlm_closed_loop.json"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "${wlm_bench_json}" > /dev/null
+else
+  grep -q '"p99_queueing_s"' "${wlm_bench_json}"
+fi
+echo "=== bench JSON OK: ${wlm_bench_json} ==="
+
 # Observability gate (also in --fast): the pinned golden routing replay
 # must match, and the CLI's Prometheus exposition must actually look like
 # one (obs_test validates the renderer structurally; this catches the CLI
@@ -86,6 +97,9 @@ if [[ "${fast}" -eq 0 ]]; then
     --gtest_filter='CorruptionSuite*'
   echo "=== [asan] fleet serving suite ==="
   "${repo_root}/build-check-asan/tests/fleet_serve_test"
+  echo "=== [asan] closed-loop WLM suite ==="
+  "${repo_root}/build-check-asan/tests/wlm_test"
+  "${repo_root}/build-check-asan/tests/wlm_closed_loop_test"
   build_and_test tsan thread
   # The registry-churn stress test is the fleet's TSan acceptance gate:
   # tenant threads predicting/observing while an evictor parks and

@@ -6,7 +6,9 @@
 //   train-global  Train the fleet-level global model and checkpoint it.
 //   replay        Replay instances with Stage + AutoWLM, print accuracy
 //                 tables (optionally loading a global checkpoint).
-//   wlm           End-to-end workload-manager comparison (Fig. 6 style).
+//   wlm           End-to-end closed-loop workload-manager comparison: the
+//                 predictor runs inside the queue simulation (Predict at
+//                 admission, Observe at completion), per --policy.
 //   serve         Drive the concurrent PredictionService: one writer
 //                 replays the trace while N reader threads predict; prints
 //                 attribution, cache stats, and per-source latency/QPS.
@@ -62,6 +64,7 @@
 #include "stage/metrics/report.h"
 #include "stage/obs/metrics.h"
 #include "stage/serve/prediction_service.h"
+#include "stage/wlm/policy.h"
 #include "stage/wlm/trace_util.h"
 #include "stage/wlm/workload_manager.h"
 
@@ -74,7 +77,7 @@ const std::vector<std::string> kKnownFlags = {
     "global",    "members",  "rounds",      "help", "utilization",
     "short_slots", "long_slots", "threads", "shards", "sync",
     "stop_after", "restore_from", "skip", "metrics_out", "json",
-    "budget_mb"};
+    "budget_mb", "policy", "slo_factor"};
 
 void PrintUsage() {
   std::printf(
@@ -89,6 +92,12 @@ void PrintUsage() {
       "the replay)\n"
       "  wlm:          --global=FILE --utilization=U --short_slots=N "
       "--long_slots=N\n"
+      "                --policy=oracle|stage|autowlm|open_loop (default: "
+      "compare all)\n"
+      "                --slo_factor=K (deadline = K x true exec-time; <=0 "
+      "disables)\n"
+      "                --metrics_out=FILE (per-policy wlm_<policy>_* "
+      "queue metrics)\n"
       "  serve:        --global=FILE --threads=N --shards=N --sync "
       "(inline retrain)\n"
       "                --restore_from=FILE --skip=K (resume a snapshotted "
@@ -307,58 +316,102 @@ int RunReplay(const Flags& flags) {
   return 0;
 }
 
+// Closed-loop WLM comparison: every policy drives the queue simulator with
+// a live predictor (Predict at admission, Observe at completion), except
+// `open_loop` which replays the pre-closed-loop pipeline for comparison.
 int RunWlm(const Flags& flags) {
   global::GlobalModel global_model;
   bool use_global = false;
   if (!MaybeLoadGlobal(flags, &global_model, &use_global)) return 1;
 
   fleet::FleetGenerator generator(FleetFromFlags(flags));
-  wlm::WlmConfig config;
-  config.short_slots = static_cast<int>(flags.GetInt("short_slots", 2));
-  config.long_slots = static_cast<int>(flags.GetInt("long_slots", 3));
+  wlm::PolicyRunConfig policy_config;
+  policy_config.loop.wlm.short_slots =
+      static_cast<int>(flags.GetInt("short_slots", 2));
+  policy_config.loop.wlm.long_slots =
+      static_cast<int>(flags.GetInt("long_slots", 3));
+  policy_config.loop.slo_factor = flags.GetDouble("slo_factor", 10.0);
+  policy_config.stage = StageConfigFromFlags(flags);
+  policy_config.global_model = use_global ? &global_model : nullptr;
   const double utilization = flags.GetDouble("utilization", 0.75);
-  const int total_slots = config.short_slots + config.long_slots;
+  const int total_slots = policy_config.loop.wlm.short_slots +
+                          policy_config.loop.wlm.long_slots;
 
-  std::vector<double> autowlm_latency;
-  std::vector<double> stage_latency;
-  std::vector<double> optimal_latency;
-  for (int i = 0; i < generator.config().num_instances; ++i) {
-    const fleet::InstanceTrace instance = generator.MakeInstanceTrace(i);
-    core::StagePredictor stage(
-        StageConfigFromFlags(flags),
-        {use_global ? &global_model : nullptr, &instance.config});
-    core::AutoWlmPredictor autowlm{core::AutoWlmConfig{}};
-    const auto stage_result = core::ReplayTrace(instance.trace, stage);
-    const auto autowlm_result = core::ReplayTrace(instance.trace, autowlm);
-    const auto trace =
-        wlm::CompressToUtilization(instance.trace, total_slots, utilization);
-    const auto append = [](std::vector<double>* out,
-                           const wlm::WlmResult& result) {
-      out->insert(out->end(), result.latency_seconds.begin(),
-                  result.latency_seconds.end());
-    };
-    append(&autowlm_latency,
-           wlm::SimulateWlm(trace, autowlm_result.Predictions(), config));
-    append(&stage_latency,
-           wlm::SimulateWlm(trace, stage_result.Predictions(), config));
-    append(&optimal_latency,
-           wlm::SimulateWlm(trace, stage_result.Actuals(), config));
-    std::fprintf(stderr, "[stage_sim] instance %d simulated\n", i);
+  // --policy=NAME runs one policy; default compares all of them, AutoWLM
+  // first so the improvement column reads against the baseline.
+  std::vector<wlm::WlmPolicy> policies;
+  const std::string policy_name = flags.GetString("policy", "");
+  if (policy_name.empty()) {
+    policies = {wlm::WlmPolicy::kAutoWlm, wlm::WlmPolicy::kStage,
+                wlm::WlmPolicy::kOpenLoop, wlm::WlmPolicy::kOracle};
+  } else {
+    wlm::WlmPolicy policy;
+    if (!wlm::ParseWlmPolicy(policy_name, &policy)) {
+      std::fprintf(stderr,
+                   "error: unknown --policy=%s "
+                   "(oracle|stage|autowlm|open_loop)\n",
+                   policy_name.c_str());
+      return 1;
+    }
+    policies = {policy};
   }
 
-  metrics::TextTable table;
-  table.SetHeader({"Predictor", "avg (s)", "impr.", "median (s)", "p90 (s)"});
-  const double base = Mean(autowlm_latency);
-  const auto add = [&](const char* name, std::vector<double>& latency) {
-    table.AddRow({name, metrics::FormatValue(Mean(latency)),
-                  metrics::FormatPercent(1.0 - Mean(latency) / base),
-                  metrics::FormatValue(Quantile(latency, 0.5)),
-                  metrics::FormatValue(Quantile(latency, 0.9))});
+  const std::string metrics_out = flags.GetString("metrics_out", "");
+  obs::MetricsRegistry registry;
+
+  struct PolicyOutcome {
+    std::vector<double> latencies;
+    uint64_t slo_violations = 0;
+    uint64_t offloads = 0;
   };
-  add("AutoWLM", autowlm_latency);
-  add("Stage", stage_latency);
-  add("Optimal", optimal_latency);
+  std::vector<PolicyOutcome> outcomes(policies.size());
+  for (int i = 0; i < generator.config().num_instances; ++i) {
+    const fleet::InstanceTrace instance = generator.MakeInstanceTrace(i);
+    const auto trace =
+        wlm::CompressToUtilization(instance.trace, total_slots, utilization);
+    policy_config.instance = &instance.config;
+    for (size_t p = 0; p < policies.size(); ++p) {
+      if (!metrics_out.empty()) {
+        policy_config.loop.metrics = &registry;
+        policy_config.loop.metrics_prefix =
+            "wlm_" + std::string(wlm::WlmPolicyName(policies[p])) + "_";
+      }
+      const wlm::ClosedLoopResult result =
+          wlm::RunWlmPolicy(trace, policies[p], policy_config);
+      outcomes[p].latencies.insert(outcomes[p].latencies.end(),
+                                   result.wlm.latency_seconds.begin(),
+                                   result.wlm.latency_seconds.end());
+      outcomes[p].slo_violations += result.slo_violations;
+      outcomes[p].offloads +=
+          static_cast<uint64_t>(result.wlm.scaling_offloads);
+    }
+    std::fprintf(stderr, "[stage_sim] instance %d simulated\n", i);
+  }
+  if (!metrics_out.empty() && !DumpMetrics(registry, metrics_out)) return 1;
+
+  metrics::TextTable table;
+  table.SetHeader({"Policy", "avg (s)", "impr.", "median (s)", "p99 (s)",
+                   "SLO miss", "offloads"});
+  const double base = Mean(outcomes[0].latencies);
+  for (size_t p = 0; p < policies.size(); ++p) {
+    const PolicyOutcome& outcome = outcomes[p];
+    const double avg = Mean(outcome.latencies);
+    const double miss =
+        outcome.latencies.empty()
+            ? 0.0
+            : static_cast<double>(outcome.slo_violations) /
+                  static_cast<double>(outcome.latencies.size());
+    table.AddRow({std::string(wlm::WlmPolicyName(policies[p])),
+                  metrics::FormatValue(avg),
+                  metrics::FormatPercent(1.0 - avg / base),
+                  metrics::FormatValue(Quantile(outcome.latencies, 0.5)),
+                  metrics::FormatValue(Quantile(outcome.latencies, 0.99)),
+                  metrics::FormatPercent(miss),
+                  std::to_string(outcome.offloads)});
+  }
   std::printf("%s", table.Render().c_str());
+  std::printf("slo_factor: %.1f (deadline = factor x true exec-time)\n",
+              policy_config.loop.slo_factor);
   return 0;
 }
 
