@@ -1,0 +1,198 @@
+#include "stage/calib/calibration.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "stage/common/macros.h"
+#include "stage/common/stats.h"
+
+namespace stage::calib {
+
+bool UsableLogStd(double log_std) {
+  return std::isfinite(log_std) && log_std > 0.0;
+}
+
+double NormalizedResidual(double predicted_seconds, double log_std,
+                          double actual_seconds) {
+  if (!UsableLogStd(log_std)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (!std::isfinite(predicted_seconds) || predicted_seconds < 0.0 ||
+      !std::isfinite(actual_seconds) || actual_seconds < 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return std::abs(std::log1p(actual_seconds) - std::log1p(predicted_seconds)) /
+         log_std;
+}
+
+std::string CalibrationConfig::Validate() const {
+  if (levels.empty()) return "calibration.levels must be non-empty";
+  for (double level : levels) {
+    if (!std::isfinite(level) || level <= 0.0 || level >= 1.0) {
+      return "calibration.levels must be in (0, 1)";
+    }
+  }
+  if (num_sources <= 0) return "calibration.num_sources must be positive";
+  return "";
+}
+
+CalibrationHarness::CalibrationHarness(CalibrationConfig config)
+    : config_(std::move(config)) {
+  const std::string error = config_.Validate();
+  STAGE_CHECK_MSG(error.empty(), error.c_str());
+  level_z_.reserve(config_.levels.size());
+  for (double level : config_.levels) {
+    level_z_.push_back(NormalQuantile(0.5 + level / 2.0));
+  }
+  const size_t slots =
+      static_cast<size_t>(config_.num_sources) * config_.levels.size();
+  covered_ = std::make_unique<std::atomic<uint64_t>[]>(slots);
+  usable_by_source_ = std::make_unique<std::atomic<uint64_t>[]>(
+      static_cast<size_t>(config_.num_sources));
+}
+
+CalibrationHarness::~CalibrationHarness() {
+  if (registry_ != nullptr) registry_->UnregisterAll(this);
+}
+
+void CalibrationHarness::Add(const CalibrationSample& sample) {
+  total_.fetch_add(1, std::memory_order_relaxed);
+  const double z = NormalizedResidual(sample.predicted_seconds, sample.log_std,
+                                      sample.actual_seconds);
+  if (!std::isfinite(z)) {
+    excluded_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  usable_.fetch_add(1, std::memory_order_relaxed);
+  const size_t source =
+      (sample.source >= 0 && sample.source < config_.num_sources)
+          ? static_cast<size_t>(sample.source)
+          : 0;
+  usable_by_source_[source].fetch_add(1, std::memory_order_relaxed);
+  const size_t base = source * config_.levels.size();
+  for (size_t i = 0; i < level_z_.size(); ++i) {
+    if (z < level_z_[i]) {
+      covered_[base + i].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+CalibrationReport CalibrationHarness::Report() const {
+  CalibrationReport report;
+  report.total = total();
+  report.usable = usable();
+  report.excluded = excluded();
+  report.levels = config_.levels;
+  const size_t num_levels = config_.levels.size();
+  const size_t num_sources = static_cast<size_t>(config_.num_sources);
+  report.covered.assign(num_levels, 0);
+  report.observed.assign(num_levels, 0.0);
+  report.usable_by_source.assign(num_sources, 0);
+  report.covered_by_source.assign(num_sources,
+                                  std::vector<uint64_t>(num_levels, 0));
+  for (size_t s = 0; s < num_sources; ++s) {
+    report.usable_by_source[s] =
+        usable_by_source_[s].load(std::memory_order_relaxed);
+    for (size_t i = 0; i < num_levels; ++i) {
+      const uint64_t count =
+          covered_[s * num_levels + i].load(std::memory_order_relaxed);
+      report.covered_by_source[s][i] = count;
+      report.covered[i] += count;
+    }
+  }
+  double error_sum = 0.0;
+  for (size_t i = 0; i < num_levels; ++i) {
+    report.observed[i] =
+        report.usable > 0
+            ? static_cast<double>(report.covered[i]) /
+                  static_cast<double>(report.usable)
+            : 0.0;
+    if (report.usable > 0) {
+      error_sum += std::abs(report.observed[i] - report.levels[i]);
+    }
+  }
+  report.ece =
+      report.usable > 0 ? error_sum / static_cast<double>(num_levels) : 0.0;
+  return report;
+}
+
+double CalibrationReport::CoverageErrorAt(double nominal) const {
+  if (usable == 0 || levels.empty()) return 0.0;
+  size_t best = 0;
+  for (size_t i = 1; i < levels.size(); ++i) {
+    if (std::abs(levels[i] - nominal) < std::abs(levels[best] - nominal)) {
+      best = i;
+    }
+  }
+  return std::abs(observed[best] - levels[best]);
+}
+
+namespace {
+
+void AppendDouble(std::string* out, double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+  *out += buffer;
+}
+
+}  // namespace
+
+std::string CalibrationReport::ToJson() const {
+  std::string out = "{\n";
+  out += "  \"total\": " + std::to_string(total) + ",\n";
+  out += "  \"usable\": " + std::to_string(usable) + ",\n";
+  out += "  \"excluded\": " + std::to_string(excluded) + ",\n";
+  out += "  \"ece\": ";
+  AppendDouble(&out, ece);
+  out += ",\n  \"levels\": [\n";
+  for (size_t i = 0; i < levels.size(); ++i) {
+    out += "    {\"nominal\": ";
+    AppendDouble(&out, levels[i]);
+    out += ", \"observed\": ";
+    AppendDouble(&out, observed[i]);
+    out += ", \"covered\": " + std::to_string(covered[i]) + "}";
+    out += (i + 1 < levels.size()) ? ",\n" : "\n";
+  }
+  out += "  ],\n  \"usable_by_source\": [";
+  for (size_t s = 0; s < usable_by_source.size(); ++s) {
+    out += std::to_string(usable_by_source[s]);
+    if (s + 1 < usable_by_source.size()) out += ", ";
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+void CalibrationHarness::RegisterMetrics(obs::MetricsRegistry* registry,
+                                         std::string prefix) {
+  STAGE_CHECK(registry != nullptr);
+  STAGE_CHECK(registry_ == nullptr);  // Register once.
+  registry_ = registry;
+  registry->RegisterCounterCallback(this, prefix + "samples_total",
+                                    [this] { return total(); });
+  registry->RegisterCounterCallback(this, prefix + "samples_usable_total",
+                                    [this] { return usable(); });
+  registry->RegisterCounterCallback(this, prefix + "samples_excluded_total",
+                                    [this] { return excluded(); });
+  registry->RegisterGaugeCallback(this, prefix + "ece",
+                                  [this] { return Report().ece; });
+  for (size_t i = 0; i < config_.levels.size(); ++i) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "coverage_ratio{level=\"%.2f\"}",
+                  config_.levels[i]);
+    registry->RegisterGaugeCallback(this, prefix + label, [this, i] {
+      const uint64_t usable = usable_.load(std::memory_order_relaxed);
+      if (usable == 0) return 0.0;
+      uint64_t covered = 0;
+      const size_t num_levels = config_.levels.size();
+      for (int s = 0; s < config_.num_sources; ++s) {
+        covered += covered_[static_cast<size_t>(s) * num_levels + i].load(
+            std::memory_order_relaxed);
+      }
+      return static_cast<double>(covered) / static_cast<double>(usable);
+    });
+  }
+}
+
+}  // namespace stage::calib

@@ -1,0 +1,122 @@
+#ifndef STAGE_CALIB_CALIBRATION_H_
+#define STAGE_CALIB_CALIBRATION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stage/obs/metrics.h"
+
+namespace stage::calib {
+
+// Whether a reported log-space standard deviation is usable for interval
+// math. The predictor stack uses -1.0 as the "no uncertainty available"
+// sentinel (cache hits, global predictions, cold-start default); that
+// sentinel — and any other non-positive or non-finite value — must be
+// excluded from calibration, never treated as sigma = -1.
+bool UsableLogStd(double log_std);
+
+// Normalized residual of one prediction in log space:
+//   z = |log1p(actual) - log1p(predicted)| / log_std.
+// Returns NaN when the triple is unusable (sentinel/non-positive/non-finite
+// log_std, negative or non-finite seconds) so callers can exclude it; the
+// ConformalRecalibrator ignores NaN inputs.
+double NormalizedResidual(double predicted_seconds, double log_std,
+                          double actual_seconds);
+
+// One (prediction, ground truth) pair fed to the harness. `source` is a
+// caller-defined attribution slot (the predictor stack passes its
+// PredictionSource index); out-of-range values fall into slot 0.
+struct CalibrationSample {
+  double predicted_seconds = 0.0;
+  double log_std = -1.0;
+  double actual_seconds = 0.0;
+  int source = 0;
+};
+
+struct CalibrationConfig {
+  // Nominal central-interval confidence levels to measure coverage at.
+  std::vector<double> levels = {0.5, 0.8, 0.9, 0.95};
+  // Attribution slots tracked by the per-source breakdown.
+  int num_sources = 8;
+  // Empty when usable, else a description of the first problem found.
+  std::string Validate() const;
+};
+
+// Aggregated calibration measurement, produced by CalibrationHarness.
+struct CalibrationReport {
+  uint64_t total = 0;     // Samples fed to Add.
+  uint64_t usable = 0;    // Samples with a usable sigma.
+  uint64_t excluded = 0;  // Sentinel / unusable samples (total - usable).
+  std::vector<double> levels;      // Nominal confidence levels.
+  std::vector<double> observed;    // Observed coverage, aligned to levels.
+  std::vector<uint64_t> covered;   // Raw covered counts, aligned to levels.
+  // Per-source slices: usable counts and covered counts per level.
+  std::vector<uint64_t> usable_by_source;
+  std::vector<std::vector<uint64_t>> covered_by_source;  // [source][level].
+  // Expected calibration error: mean over levels of |observed - nominal|.
+  double ece = 0.0;
+
+  // |observed - nominal| at the level closest to `nominal` (0 when no
+  // usable samples were seen).
+  double CoverageErrorAt(double nominal) const;
+
+  // Machine-readable rendering (keys: total/usable/excluded/ece/levels,
+  // per-level nominal/observed/covered, per-source usable counts).
+  std::string ToJson() const;
+};
+
+// Streaming interval-calibration harness: feed (mu, sigma, y) triples,
+// read observed coverage of the centered log-space Gaussian intervals at a
+// ladder of nominal levels plus expected calibration error and per-source
+// breakdowns. A prediction at confidence c is "covered" when
+// |log1p(y) - log1p(mu)| < Phi^-1((1+c)/2) * sigma.
+//
+// Thread-safety: Add is safe against concurrent Add/Report/metric scrapes
+// (all counters are relaxed atomics); the harness itself is a fixed-shape
+// counter array, so Add never allocates.
+class CalibrationHarness {
+ public:
+  explicit CalibrationHarness(CalibrationConfig config = {});
+  ~CalibrationHarness();
+
+  CalibrationHarness(const CalibrationHarness&) = delete;
+  CalibrationHarness& operator=(const CalibrationHarness&) = delete;
+
+  // Scores one sample against every nominal level. Unusable samples
+  // (sentinel sigma, negative/non-finite inputs) count as excluded.
+  void Add(const CalibrationSample& sample);
+
+  CalibrationReport Report() const;
+
+  uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+  uint64_t usable() const { return usable_.load(std::memory_order_relaxed); }
+  uint64_t excluded() const {
+    return excluded_.load(std::memory_order_relaxed);
+  }
+
+  const CalibrationConfig& config() const { return config_; }
+
+  // Exposes coverage_ratio{level=...} gauges, calibration_ece, and
+  // samples_{total,usable,excluded} counters under `prefix` as render-time
+  // callbacks (owner-tagged; unregistered in the destructor). The registry
+  // must outlive the harness. Callbacks only read the atomic counters.
+  void RegisterMetrics(obs::MetricsRegistry* registry, std::string prefix);
+
+ private:
+  CalibrationConfig config_;
+  std::vector<double> level_z_;  // Phi^-1((1+c)/2) per level, precomputed.
+  std::atomic<uint64_t> total_{0};
+  std::atomic<uint64_t> usable_{0};
+  std::atomic<uint64_t> excluded_{0};
+  // Flat [source][level] covered counts plus per-source usable counts.
+  std::unique_ptr<std::atomic<uint64_t>[]> covered_;
+  std::unique_ptr<std::atomic<uint64_t>[]> usable_by_source_;
+  obs::MetricsRegistry* registry_ = nullptr;  // Set by RegisterMetrics.
+};
+
+}  // namespace stage::calib
+
+#endif  // STAGE_CALIB_CALIBRATION_H_

@@ -1,0 +1,138 @@
+#include "stage/calib/conformal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "stage/common/macros.h"
+#include "stage/common/serialize.h"
+#include "stage/common/stats.h"
+
+namespace stage::calib {
+
+std::string ConformalConfig::Validate() const {
+  if (window_capacity == 0) return "conformal.window_capacity must be positive";
+  if (min_window == 0) return "conformal.min_window must be positive";
+  if (min_window > window_capacity) {
+    return "conformal.min_window must not exceed window_capacity";
+  }
+  if (!std::isfinite(anchor_confidence) || anchor_confidence <= 0.0 ||
+      anchor_confidence >= 1.0) {
+    return "conformal.anchor_confidence must be in (0, 1)";
+  }
+  if (refresh_interval == 0) return "conformal.refresh_interval must be positive";
+  if (!std::isfinite(min_scale) || min_scale <= 0.0) {
+    return "conformal.min_scale must be finite and positive";
+  }
+  if (!std::isfinite(max_scale) || max_scale < min_scale) {
+    return "conformal.max_scale must be finite and >= min_scale";
+  }
+  return "";
+}
+
+ConformalRecalibrator::ConformalRecalibrator(const ConformalConfig& config)
+    : config_(config) {
+  const std::string error = config.Validate();
+  STAGE_CHECK_MSG(error.empty(), error.c_str());
+  // Central interval at confidence c covers |z| < Phi^-1((1+c)/2).
+  anchor_z_ = NormalQuantile(0.5 + config_.anchor_confidence / 2.0);
+  ring_.resize(config_.window_capacity, 0.0);
+  scratch_.resize(config_.window_capacity, 0.0);
+}
+
+void ConformalRecalibrator::Observe(double normalized_residual) {
+  // The NormalizedResidual sentinel (NaN) and any negative input mean
+  // "sigma was unavailable for this observation" — skip, never poison.
+  if (!std::isfinite(normalized_residual) || normalized_residual < 0.0) return;
+  ring_[head_] = normalized_residual;
+  head_ = (head_ + 1) % config_.window_capacity;
+  const size_t size = size_.load(std::memory_order_relaxed);
+  if (size < config_.window_capacity) {
+    size_.store(size + 1, std::memory_order_relaxed);
+  }
+  observations_.fetch_add(1, std::memory_order_relaxed);
+  ++since_refresh_;
+  if (size_.load(std::memory_order_relaxed) >= config_.min_window &&
+      (refreshes_ == 0 || since_refresh_ >= config_.refresh_interval)) {
+    RefreshScale();
+    since_refresh_ = 0;
+    ++refreshes_;
+  }
+}
+
+void ConformalRecalibrator::RefreshScale() {
+  const size_t n = size_.load(std::memory_order_relaxed);
+  std::copy_n(ring_.begin(), n, scratch_.begin());
+  // Split-conformal rank at level p over n scores: the ceil((n+1)p)-th
+  // order statistic, clamped into range (the finite-sample correction that
+  // guarantees >= p coverage on exchangeable data).
+  const double raw_rank =
+      std::ceil(static_cast<double>(n + 1) * config_.anchor_confidence);
+  const size_t rank = static_cast<size_t>(
+      std::clamp(raw_rank, 1.0, static_cast<double>(n)));
+  std::nth_element(scratch_.begin(),
+                   scratch_.begin() + static_cast<std::ptrdiff_t>(rank - 1),
+                   scratch_.begin() + static_cast<std::ptrdiff_t>(n));
+  const double quantile = scratch_[rank - 1];
+  const double scale =
+      std::clamp(quantile / anchor_z_, config_.min_scale, config_.max_scale);
+  scale_.store(scale, std::memory_order_relaxed);
+}
+
+namespace {
+constexpr uint32_t kConformalMagic = 0x53434e46;  // "SCNF".
+constexpr uint32_t kConformalVersion = 1;
+}  // namespace
+
+void ConformalRecalibrator::Save(std::ostream& out) const {
+  WriteHeader(out, kConformalMagic, kConformalVersion);
+  WritePod<uint64_t>(out, config_.window_capacity);
+  WritePod<uint64_t>(out, head_);
+  WritePod<uint64_t>(out, size_.load(std::memory_order_relaxed));
+  WritePod<uint64_t>(out, since_refresh_);
+  WritePod<uint64_t>(out, refreshes_);
+  WritePod<uint64_t>(out, observations_.load(std::memory_order_relaxed));
+  WritePod<double>(out, scale_.load(std::memory_order_relaxed));
+  WriteVector(out, ring_);
+}
+
+bool ConformalRecalibrator::Load(std::istream& in) {
+  if (!ReadHeader(in, kConformalMagic, kConformalVersion)) return false;
+  uint64_t capacity = 0, head = 0, size = 0, since_refresh = 0;
+  uint64_t refreshes = 0, observations = 0;
+  double scale = 1.0;
+  std::vector<double> ring;
+  if (!ReadPod(in, &capacity) || !ReadPod(in, &head) || !ReadPod(in, &size) ||
+      !ReadPod(in, &since_refresh) || !ReadPod(in, &refreshes) ||
+      !ReadPod(in, &observations) || !ReadPod(in, &scale) ||
+      !ReadVector(in, &ring)) {
+    return false;
+  }
+  // Structural validity: the stream must describe a window of exactly this
+  // recalibrator's shape, with in-range cursors, a clamped finite scale,
+  // and usable residuals. Anything else is corruption — reject without
+  // touching state.
+  if (capacity != config_.window_capacity || ring.size() != capacity ||
+      head >= capacity || size > capacity) {
+    return false;
+  }
+  const bool scale_ok =
+      scale == 1.0 ||  // Identity: the pre-min_window state.
+      (std::isfinite(scale) && scale >= config_.min_scale &&
+       scale <= config_.max_scale);
+  if (!scale_ok) return false;
+  for (double value : ring) {
+    if (!std::isfinite(value) || value < 0.0) return false;
+  }
+  ring_ = std::move(ring);
+  head_ = static_cast<size_t>(head);
+  since_refresh_ = static_cast<size_t>(since_refresh);
+  refreshes_ = refreshes;
+  size_.store(static_cast<size_t>(size), std::memory_order_relaxed);
+  observations_.store(observations, std::memory_order_relaxed);
+  scale_.store(scale, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace stage::calib

@@ -94,6 +94,20 @@ bool LoadLocalModelSnapshot(local::LocalModel* model, const std::string& path,
       [&](std::istream& in) { return model->Load(in); }, error);
 }
 
+bool SaveRecalibratorSnapshot(const calib::ConformalRecalibrator& recalibrator,
+                              const std::string& path, std::string* error) {
+  return SaveWrapped(
+      path, SnapshotKind::kConformalRecalibrator,
+      [&](std::ostream& out) { recalibrator.Save(out); }, error);
+}
+
+bool LoadRecalibratorSnapshot(calib::ConformalRecalibrator* recalibrator,
+                              const std::string& path, std::string* error) {
+  return LoadWrapped(
+      path, SnapshotKind::kConformalRecalibrator,
+      [&](std::istream& in) { return recalibrator->Load(in); }, error);
+}
+
 PeriodicCheckpointer::PeriodicCheckpointer(
     const serve::PredictionService& service, Options options)
     : service_(service), options_(std::move(options)) {

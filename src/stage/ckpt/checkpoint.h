@@ -9,6 +9,7 @@
 #include <string>
 #include <thread>
 
+#include "stage/calib/conformal.h"
 #include "stage/ckpt/snapshot_file.h"
 #include "stage/core/stage_predictor.h"
 #include "stage/local/local_model.h"
@@ -46,6 +47,16 @@ bool SaveLocalModelSnapshot(const local::LocalModel& model,
                             std::string* error = nullptr);
 bool LoadLocalModelSnapshot(local::LocalModel* model, const std::string& path,
                             std::string* error = nullptr);
+
+// Bare §4.8 conformal recalibrator (sliding residual window + published
+// scale). The target's window_capacity must match the writer's; Load is
+// transactional (false on mismatch/corruption, target untouched).
+bool SaveRecalibratorSnapshot(const calib::ConformalRecalibrator& recalibrator,
+                              const std::string& path,
+                              std::string* error = nullptr);
+bool LoadRecalibratorSnapshot(calib::ConformalRecalibrator* recalibrator,
+                              const std::string& path,
+                              std::string* error = nullptr);
 
 // Background checkpointer: snapshots a PredictionService to `path` every
 // `interval`, on a dedicated thread, using the atomic-rename protocol — a

@@ -33,6 +33,8 @@ std::string_view SnapshotKindName(SnapshotKind kind) {
       return "prediction-service";
     case SnapshotKind::kFleetService:
       return "fleet-service";
+    case SnapshotKind::kConformalRecalibrator:
+      return "conformal-recalibrator";
   }
   return "unknown";
 }

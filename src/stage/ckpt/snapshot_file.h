@@ -28,14 +28,20 @@ enum class SnapshotKind : uint32_t {
   // activation can seek and deserialize one tenant without reading the
   // whole file.
   kFleetService = 6,
+  // §4.8 online conformal recalibrator: the sliding residual window plus
+  // its published sigma scale, so warm restart preserves calibration
+  // bit-for-bit. (Predictor/service snapshots embed the same stream when
+  // calibration is on; this kind covers the standalone file.)
+  kConformalRecalibrator = 7,
 };
 
 // Every enumerator, for registry round-trip tests and tooling that has to
 // enumerate the vocabulary. Keep in sync with the enum.
-inline constexpr std::array<SnapshotKind, 6> kAllSnapshotKinds = {
-    SnapshotKind::kLocalModel,       SnapshotKind::kExecTimeCache,
-    SnapshotKind::kTrainingPool,     SnapshotKind::kStagePredictor,
+inline constexpr std::array<SnapshotKind, 7> kAllSnapshotKinds = {
+    SnapshotKind::kLocalModel,        SnapshotKind::kExecTimeCache,
+    SnapshotKind::kTrainingPool,      SnapshotKind::kStagePredictor,
     SnapshotKind::kPredictionService, SnapshotKind::kFleetService,
+    SnapshotKind::kConformalRecalibrator,
 };
 
 std::string_view SnapshotKindName(SnapshotKind kind);

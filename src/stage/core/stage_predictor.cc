@@ -1,7 +1,9 @@
 #include "stage/core/stage_predictor.h"
 
 #include <chrono>
+#include <cmath>
 
+#include "stage/calib/calibration.h"
 #include "stage/common/macros.h"
 #include "stage/common/serialize.h"
 
@@ -40,12 +42,18 @@ std::string StagePredictorConfig::Validate() const {
   }
   if (retrain_interval == 0) return "retrain_interval must be positive";
   if (min_train_size == 0) return "min_train_size must be positive";
-  if (short_running_seconds < 0.0) {
-    return "short_running_seconds must be non-negative";
+  // isfinite first: NaN compares false against every threshold, so a bare
+  // `< 0.0` check silently accepts it — and a NaN threshold makes every
+  // routing confidence check false.
+  if (!std::isfinite(short_running_seconds) || short_running_seconds < 0.0) {
+    return "short_running_seconds must be finite and non-negative";
   }
-  if (uncertainty_log_std_threshold < 0.0) {
-    return "uncertainty_log_std_threshold must be non-negative";
+  if (!std::isfinite(uncertainty_log_std_threshold) ||
+      uncertainty_log_std_threshold < 0.0) {
+    return "uncertainty_log_std_threshold must be finite and non-negative";
   }
+  const std::string conformal_error = conformal.Validate();
+  if (!conformal_error.empty()) return conformal_error;
   return "";
 }
 
@@ -63,7 +71,8 @@ Prediction RouteHierarchicalDeferred(const StagePredictorConfig& config,
                                      const global::GlobalModel* global_model,
                                      const fleet::InstanceConfig* instance,
                                      bool* needs_global,
-                                     obs::PredictionTrace* trace) {
+                                     obs::PredictionTrace* trace,
+                                     double uncertainty_scale) {
   *needs_global = false;
   Prediction out;
   if (trace != nullptr) {
@@ -88,14 +97,17 @@ Prediction RouteHierarchicalDeferred(const StagePredictorConfig& config,
   // Stage 2: instance-optimized local model.
   if (local != nullptr && local->trained()) {
     const local::LocalModel::Output local_out = local->Predict(query.features);
+    // The conformal correction (§4.8). Identity when uncertainty_scale is
+    // 1.0: IEEE multiplication by 1.0 is exact, so the flag-off path stays
+    // bit-for-bit legacy.
+    const double log_std = local_out.log_std() * uncertainty_scale;
     out.seconds = local_out.exec_seconds;
-    out.uncertainty_log_std = local_out.log_std();
+    out.uncertainty_log_std = log_std;
     out.source = PredictionSource::kLocal;
 
     const bool short_running =
         local_out.exec_seconds < config.short_running_seconds;
-    const bool confident =
-        local_out.log_std() < config.uncertainty_log_std_threshold;
+    const bool confident = log_std < config.uncertainty_log_std_threshold;
     if (trace != nullptr) {
       trace->local_trained = true;
       trace->short_running = short_running;
@@ -133,11 +145,13 @@ Prediction RouteHierarchical(const StagePredictorConfig& config,
                              const local::LocalModel* local,
                              const global::GlobalModel* global_model,
                              const fleet::InstanceConfig* instance,
-                             obs::PredictionTrace* trace) {
+                             obs::PredictionTrace* trace,
+                             double uncertainty_scale) {
   bool needs_global = false;
-  Prediction out =
-      RouteHierarchicalDeferred(config, query, cached_seconds, local,
-                                global_model, instance, &needs_global, trace);
+  Prediction out = RouteHierarchicalDeferred(config, query, cached_seconds,
+                                             local, global_model, instance,
+                                             &needs_global, trace,
+                                             uncertainty_scale);
   if (needs_global) {
     out.seconds = global_model->PredictSeconds(*query.plan, *instance,
                                                query.concurrent_queries);
@@ -155,6 +169,10 @@ StagePredictor::StagePredictor(const StagePredictorConfig& config,
       options_(options) {
   const std::string error = config.Validate();
   STAGE_CHECK_MSG(error.empty(), error.c_str());
+  if (config_.calibrate_uncertainty) {
+    recalibrator_ =
+        std::make_unique<calib::ConformalRecalibrator>(config_.conformal);
+  }
   if (options_.metrics != nullptr) RegisterMetrics();
 }
 
@@ -195,20 +213,35 @@ void StagePredictor::RegisterMetrics() {
   registry->RegisterCounterCallback(
       this, prefix + "local_trainings_total",
       [this] { return static_cast<uint64_t>(local_.trainings()); });
+  if (recalibrator_ != nullptr) {
+    registry->RegisterGaugeCallback(this, prefix + "conformal_scale", [this] {
+      return recalibrator_->scale();
+    });
+    registry->RegisterGaugeCallback(
+        this, prefix + "conformal_window_size", [this] {
+          return static_cast<double>(recalibrator_->window_size());
+        });
+    registry->RegisterCounterCallback(
+        this, prefix + "conformal_observations_total",
+        [this] { return recalibrator_->observations(); });
+  }
 }
 
 Prediction StagePredictor::PredictImpl(const QueryContext& query,
                                        obs::PredictionTrace* trace) const {
   Prediction out;
+  const double scale = conformal_scale();
   if (trace == nullptr) {
     out = RouteHierarchical(config_, query, cache_.Predict(query.feature_hash),
-                            &local_, options_.global_model, options_.instance);
+                            &local_, options_.global_model, options_.instance,
+                            nullptr, scale);
   } else {
     const auto start = std::chrono::steady_clock::now();
     const std::optional<double> cached = cache_.Predict(query.feature_hash);
     const auto after_cache = std::chrono::steady_clock::now();
     out = RouteHierarchical(config_, query, cached, &local_,
-                            options_.global_model, options_.instance, trace);
+                            options_.global_model, options_.instance, trace,
+                            scale);
     const auto end = std::chrono::steady_clock::now();
     trace->cache_nanos = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(after_cache -
@@ -246,6 +279,10 @@ std::vector<Prediction> StagePredictor::PredictBatch(
   if (queries.empty()) return out;
   const bool traced = routing_metrics_.enabled();
   std::vector<obs::PredictionTrace> traces(traced ? queries.size() : 0);
+  // One scale load amortized across the batch: Observe never runs
+  // concurrently with Predict on the bare predictor, so the scale cannot
+  // move mid-batch anyway.
+  const double scale = conformal_scale();
 
   // Phase 1: cache + local routing per query; escalated queries defer
   // their seconds instead of running the GCN inline.
@@ -257,7 +294,8 @@ std::vector<Prediction> StagePredictor::PredictBatch(
     if (!traced) {
       out[i] = RouteHierarchicalDeferred(
           config_, query, cache_.Predict(query.feature_hash), &local_,
-          options_.global_model, options_.instance, &needs_global);
+          options_.global_model, options_.instance, &needs_global, nullptr,
+          scale);
     } else {
       obs::PredictionTrace& trace = traces[i];
       const auto start = std::chrono::steady_clock::now();
@@ -266,7 +304,7 @@ std::vector<Prediction> StagePredictor::PredictBatch(
       out[i] = RouteHierarchicalDeferred(config_, query, cached, &local_,
                                          options_.global_model,
                                          options_.instance, &needs_global,
-                                         &trace);
+                                         &trace, scale);
       const auto end = std::chrono::steady_clock::now();
       trace.cache_nanos = static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(after_cache -
@@ -320,6 +358,17 @@ std::vector<Prediction> StagePredictor::PredictBatch(
 
 void StagePredictor::Observe(const QueryContext& query, double exec_seconds) {
   STAGE_CHECK(exec_seconds >= 0.0);
+  // §4.8: score the *current* local model on the completed query and feed
+  // the normalized residual to the recalibrator — before the cache/pool
+  // mutations below, so the residual reflects the model that actually
+  // predicted this query. Sentinel residuals (untrained model handled by
+  // the trained() guard; unusable sigma by NormalizedResidual's NaN) are
+  // ignored by Observe.
+  if (recalibrator_ != nullptr && local_.trained()) {
+    const local::LocalModel::Output out = local_.Predict(query.features);
+    recalibrator_->Observe(calib::NormalizedResidual(
+        out.exec_seconds, out.log_std(), exec_seconds));
+  }
   // Pool deduplication via the cache (§4.3): repeats are the cache's job;
   // only cache misses diversify the local model's training set.
   const bool was_cached = cache_.Contains(query.feature_hash);
@@ -364,6 +413,10 @@ void StagePredictor::Save(std::ostream& out) const {
   WritePod<uint64_t>(out, observed_since_train_);
   WritePod<uint8_t>(out, local_.trained() ? 1 : 0);
   if (local_.trained()) local_.Save(out);
+  // Appended only when calibration is on: the flag-off stream stays
+  // byte-identical to the legacy format (and old snapshots keep loading
+  // into flag-off predictors).
+  if (recalibrator_ != nullptr) recalibrator_->Save(out);
 }
 
 bool StagePredictor::Load(std::istream& in) {
@@ -378,6 +431,7 @@ bool StagePredictor::Load(std::istream& in) {
   uint8_t has_local = 0;
   if (!ReadPod(in, &has_local)) return false;
   if (has_local != 0 && !local_.Load(in)) return false;
+  if (recalibrator_ != nullptr && !recalibrator_->Load(in)) return false;
   observed_since_train_ = static_cast<size_t>(observed_since_train);
   return true;
 }

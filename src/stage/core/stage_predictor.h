@@ -5,10 +5,12 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "stage/cache/exec_time_cache.h"
+#include "stage/calib/conformal.h"
 #include "stage/core/predictor.h"
 #include "stage/fleet/instance.h"
 #include "stage/global/global_model.h"
@@ -38,6 +40,14 @@ struct StagePredictorConfig {
 
   // Ablation switch: never consult the global model even if provided.
   bool use_global = true;
+
+  // §4.8 calibration: when set, an online conformal recalibrator rescales
+  // the local ensemble's log_std before the confidence check above (and in
+  // the reported uncertainty), driven by normalized residuals observed on
+  // completions. Off by default — the flag-off path is bit-for-bit legacy
+  // routing, pinned by tests/golden/routing_v1.txt.
+  bool calibrate_uncertainty = false;
+  calib::ConformalConfig conformal;
 
   // Returns an empty string when the config is usable; otherwise a
   // description of the first problem found. StagePredictor (and the serving
@@ -71,13 +81,18 @@ struct StagePredictorOptions {
 // cache lookup; `local` may be null or untrained. When `trace` is non-null
 // the routing decision (stage reached, thresholds crossed, uncertainty) is
 // recorded into it; the latency fields are the caller's job.
+// `uncertainty_scale` multiplies the local model's log_std before the
+// confidence check and in the reported uncertainty (the §4.8 conformal
+// correction); 1.0 — the default, and the only value the flag-off path
+// ever passes — is bit-for-bit identity.
 Prediction RouteHierarchical(const StagePredictorConfig& config,
                              const QueryContext& query,
                              std::optional<double> cached_seconds,
                              const local::LocalModel* local,
                              const global::GlobalModel* global_model,
                              const fleet::InstanceConfig* instance,
-                             obs::PredictionTrace* trace = nullptr);
+                             obs::PredictionTrace* trace = nullptr,
+                             double uncertainty_scale = 1.0);
 
 // Deferred variant for batch paths: identical routing decisions, but when
 // the query escalates to the global model it returns with out.source ==
@@ -95,7 +110,8 @@ Prediction RouteHierarchicalDeferred(const StagePredictorConfig& config,
                                      const global::GlobalModel* global_model,
                                      const fleet::InstanceConfig* instance,
                                      bool* needs_global,
-                                     obs::PredictionTrace* trace = nullptr);
+                                     obs::PredictionTrace* trace = nullptr,
+                                     double uncertainty_scale = 1.0);
 
 // Mirrors a final routing outcome into `trace` (no-op when null). Batch
 // callers use it to finish the trace of a deferred-global query once the
@@ -149,6 +165,16 @@ class StagePredictor final : public ExecTimePredictor {
   const local::TrainingPool& training_pool() const { return pool_; }
   const local::LocalModel& local_model() const { return local_; }
 
+  // Current §4.8 conformal sigma correction: 1.0 when calibration is off
+  // (or the window hasn't filled to conformal.min_window yet).
+  double conformal_scale() const {
+    return recalibrator_ != nullptr ? recalibrator_->scale() : 1.0;
+  }
+  // The recalibrator, or nullptr when calibrate_uncertainty is off.
+  const calib::ConformalRecalibrator* recalibrator() const {
+    return recalibrator_.get();
+  }
+
   // Memory footprint of the locally resident components (the paper excludes
   // the global model, which deploys as a shared serverless function).
   size_t LocalMemoryBytes() const;
@@ -172,6 +198,9 @@ class StagePredictor final : public ExecTimePredictor {
   cache::ExecTimeCache cache_;
   local::TrainingPool pool_;
   local::LocalModel local_;
+  // Non-null iff config_.calibrate_uncertainty: fed a normalized residual
+  // per Observe, read (one atomic load) per Predict.
+  std::unique_ptr<calib::ConformalRecalibrator> recalibrator_;
   StagePredictorOptions options_;  // Borrowed pointers, nullable.
   obs::RoutingMetricSet routing_metrics_;  // Null members when no registry.
   size_t observed_since_train_ = 0;

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "stage/calib/calibration.h"
 #include "stage/common/macros.h"
 #include "stage/common/serialize.h"
 #include "stage/common/thread_pool.h"
@@ -45,6 +46,10 @@ TenantStack::TenantStack(const TenantStackConfig& config,
       cache_(serve::ShardedExecTimeCacheConfig{config.predictor.cache,
                                                config.cache_shards}),
       pool_(config.predictor.pool) {
+  if (config_.predictor.calibrate_uncertainty) {
+    recalibrator_ = std::make_unique<calib::ConformalRecalibrator>(
+        config_.predictor.conformal);
+  }
   if (options_.metrics != nullptr) RegisterMetrics();
 }
 
@@ -109,6 +114,20 @@ void TenantStack::RegisterMetrics() {
   registry->RegisterCounterCallback(
       this, prefix + "local_trainings_total",
       [this] { return static_cast<uint64_t>(trainings()); });
+  if (recalibrator_ != nullptr) {
+    // Atomic reads only: a scrape must stay TSan-clean against a
+    // concurrent Observe mutating the window.
+    registry->RegisterGaugeCallback(this, prefix + "conformal_scale", [this] {
+      return recalibrator_->scale();
+    });
+    registry->RegisterGaugeCallback(
+        this, prefix + "conformal_window_size", [this] {
+          return static_cast<double>(recalibrator_->window_size());
+        });
+    registry->RegisterCounterCallback(
+        this, prefix + "conformal_observations_total",
+        [this] { return recalibrator_->observations(); });
+  }
   registry->RegisterGaugeCallback(
       this, prefix + "threadpool_queue_depth", [] {
         return static_cast<double>(ThreadPool::Shared().queue_depth());
@@ -128,7 +147,8 @@ core::Prediction TenantStack::PredictImpl(const core::QueryContext& query,
       local_model_snapshot();
   const core::Prediction out = core::RouteHierarchical(
       config_.predictor, query, cache_.Predict(query.feature_hash),
-      local.get(), options_.global_model, options_.instance, trace);
+      local.get(), options_.global_model, options_.instance, trace,
+      conformal_scale());
   source_counts_[static_cast<int>(out.source)].fetch_add(
       1, std::memory_order_relaxed);
   const uint64_t nanos = ElapsedNanos(start);
@@ -180,6 +200,10 @@ std::vector<core::Prediction> TenantStack::PredictBatch(
   // uint8_t, not bool: lanes write neighboring elements concurrently.
   std::vector<uint8_t> needs_global(queries.size(), 0);
 
+  // One scale load for the whole batch: every lane routes under the same
+  // conformal correction even if an Observe refreshes it mid-batch.
+  const double scale = conformal_scale();
+
   // Phase 1: cache + local routing. Escalated queries defer their seconds
   // to ONE batched global pass below instead of running the GCN inline.
   const auto route_one = [&](size_t i) {
@@ -189,7 +213,7 @@ std::vector<core::Prediction> TenantStack::PredictBatch(
     out[i] = core::RouteHierarchicalDeferred(
         config_.predictor, query, cache_.Predict(query.feature_hash),
         local.get(), options_.global_model, options_.instance, &escalate,
-        traced ? &traces[i] : nullptr);
+        traced ? &traces[i] : nullptr, scale);
     needs_global[i] = escalate ? 1 : 0;
     phase1_nanos[i] = ElapsedNanos(query_start);
   };
@@ -250,6 +274,20 @@ bool TenantStack::Observe(const core::QueryContext& query, double exec_seconds,
                           bool inline_retrain) {
   STAGE_CHECK(exec_seconds >= 0.0);
   std::lock_guard<std::mutex> observe_lock(observe_mutex_);
+
+  // §4.8: feed the recalibrator the current model's normalized residual on
+  // this completion — before the cache/pool mutations, matching
+  // StagePredictor::Observe's ordering exactly so sync replay stays
+  // bit-for-bit predictor-equivalent.
+  if (recalibrator_ != nullptr) {
+    const std::shared_ptr<const local::LocalModel> model =
+        local_model_snapshot();
+    if (model != nullptr && model->trained()) {
+      const local::LocalModel::Output out = model->Predict(query.features);
+      recalibrator_->Observe(calib::NormalizedResidual(
+          out.exec_seconds, out.log_std(), exec_seconds));
+    }
+  }
 
   // §4.3 pool deduplication: only cache misses diversify the pool. The
   // was-cached check and the observation happen under one shard lock.
@@ -340,6 +378,9 @@ bool TenantStack::SaveState(std::ostream& out, std::string* error) const {
   WritePod<uint8_t>(out, model ? 1 : 0);
   if (model) model->Save(out);
   WritePod<int32_t>(out, trainings_.load(std::memory_order_relaxed));
+  // Appended only when calibration is on, so flag-off stacks keep
+  // producing the exact legacy kPredictionService byte stream.
+  if (recalibrator_ != nullptr) recalibrator_->Save(out);
   if (!out) {
     SetError(error, "tenant stack state write failed");
     return false;
@@ -393,6 +434,10 @@ bool TenantStack::LoadState(std::istream& in, std::string* error) {
   int32_t trainings = 0;
   if (!ReadPod(in, &trainings)) {
     SetError(error, "truncated trainings counter");
+    return false;
+  }
+  if (recalibrator_ != nullptr && !recalibrator_->Load(in)) {
+    SetError(error, "malformed conformal recalibrator payload");
     return false;
   }
   trainings_.store(trainings, std::memory_order_relaxed);

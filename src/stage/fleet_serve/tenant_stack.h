@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "stage/calib/conformal.h"
 #include "stage/core/predictor.h"
 #include "stage/core/stage_predictor.h"
 #include "stage/local/local_model.h"
@@ -119,6 +120,17 @@ class TenantStack {
   // Completed local-model trainings.
   int trainings() const { return trainings_.load(std::memory_order_relaxed); }
 
+  // Current §4.8 conformal sigma correction: 1.0 when
+  // predictor.calibrate_uncertainty is off or the window hasn't filled.
+  // Lock-free (one atomic load), safe against concurrent Observes.
+  double conformal_scale() const {
+    return recalibrator_ != nullptr ? recalibrator_->scale() : 1.0;
+  }
+  // The recalibrator, or nullptr when calibration is off.
+  const calib::ConformalRecalibrator* recalibrator() const {
+    return recalibrator_.get();
+  }
+
   // Current local-model snapshot (nullptr before the first training). The
   // returned pointer stays valid across later swaps.
   std::shared_ptr<const local::LocalModel> local_model_snapshot() const;
@@ -155,6 +167,11 @@ class TenantStack {
   local::TrainingPool pool_;
   size_t observed_since_train_ = 0;
   bool first_train_requested_ = false;
+
+  // §4.8 recalibrator, non-null iff predictor.calibrate_uncertainty. The
+  // window is mutated only under observe_mutex_; the published scale is an
+  // atomic the read path loads lock-free.
+  std::unique_ptr<calib::ConformalRecalibrator> recalibrator_;
 
   // Double-buffered model snapshot: the trainer publishes a fresh model by
   // swapping this pointer; in-flight readers keep the previous buffer alive

@@ -107,6 +107,14 @@ class PredictionService final : public core::ExecTimePredictor {
   // Completed local-model trainings.
   int trainings() const { return stack_->trainings(); }
 
+  // Current §4.8 conformal sigma correction (1.0 when
+  // predictor.calibrate_uncertainty is off or the window hasn't filled).
+  double conformal_scale() const { return stack_->conformal_scale(); }
+  // The tenant stack's recalibrator, or nullptr when calibration is off.
+  const calib::ConformalRecalibrator* recalibrator() const {
+    return stack_->recalibrator();
+  }
+
   // Current local-model snapshot (nullptr before the first training). The
   // returned pointer stays valid across later swaps.
   std::shared_ptr<const local::LocalModel> local_model_snapshot() const {

@@ -58,6 +58,19 @@ core::StagePredictorConfig GoldenConfig() {
   return config;
 }
 
+// The flag-on twin of GoldenConfig: identical routing knobs plus the §4.8
+// conformal recalibrator, pinned in its own golden
+// (tests/golden/routing_calibrated_v1.txt). The small window/refresh make
+// the scale engage early in the 5k replay.
+core::StagePredictorConfig CalibratedGoldenConfig() {
+  core::StagePredictorConfig config = GoldenConfig();
+  config.calibrate_uncertainty = true;
+  config.conformal.window_capacity = 256;
+  config.conformal.min_window = 32;
+  config.conformal.refresh_interval = 16;
+  return config;
+}
+
 struct GoldenWorkload {
   fleet::InstanceTrace instance;
   global::GlobalModel global_model;
@@ -155,6 +168,32 @@ std::string GoldenPath() {
   return std::string(STAGE_GOLDEN_DIR) + "/routing_v1.txt";
 }
 
+std::string CalibratedGoldenPath() {
+  return std::string(STAGE_GOLDEN_DIR) + "/routing_calibrated_v1.txt";
+}
+
+// Shared regen-or-compare tail for both pins.
+void CheckAgainstGolden(const std::string& serialized,
+                        const std::string& path) {
+  if (std::getenv("STAGE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << serialized;
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << path << " missing; regenerate with STAGE_REGEN_GOLDEN=1 (see "
+                 "DESIGN.md)";
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(serialized, golden.str())
+      << "Routing behaviour changed. If intentional, regenerate with\n"
+         "  STAGE_REGEN_GOLDEN=1 ./tests/golden_routing_test\n"
+         "and review the golden diff.";
+}
+
 TEST(GoldenRoutingTest, ReplayMatchesPinnedGolden) {
   const GoldenWorkload& workload = Workload();
   obs::MetricsRegistry registry;
@@ -194,25 +233,37 @@ TEST(GoldenRoutingTest, ReplayMatchesPinnedGolden) {
   ASSERT_TRUE(obs::ValidateTextExposition(registry.RenderText(), &error))
       << error;
 
-  const std::string serialized = summary.Serialize();
-  if (std::getenv("STAGE_REGEN_GOLDEN") != nullptr) {
-    std::ofstream out(GoldenPath(), std::ios::trunc);
-    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
-    out << serialized;
-    ASSERT_TRUE(out.good());
-    GTEST_SKIP() << "regenerated " << GoldenPath();
-  }
+  CheckAgainstGolden(summary.Serialize(), GoldenPath());
+}
 
-  std::ifstream in(GoldenPath());
-  ASSERT_TRUE(in.good())
-      << GoldenPath()
-      << " missing; regenerate with STAGE_REGEN_GOLDEN=1 (see DESIGN.md)";
-  std::stringstream golden;
-  golden << in.rdbuf();
-  EXPECT_EQ(serialized, golden.str())
-      << "Routing behaviour changed. If intentional, regenerate with\n"
-         "  STAGE_REGEN_GOLDEN=1 ./tests/golden_routing_test\n"
-         "and review the golden diff.";
+// Flag-on twin: the conformal recalibrator rescales the uncertainty the
+// router sees, so the calibrated replay gets its own pin. The test also
+// proves the flag actually bites — the recalibrator refreshes during the
+// replay and the calibrated trace stream diverges from the flag-off one.
+TEST(GoldenRoutingTest, CalibratedReplayMatchesPinnedGolden) {
+  const GoldenWorkload& workload = Workload();
+  core::StagePredictorOptions options;
+  options.global_model = &workload.global_model;
+  options.instance = &workload.instance.config;
+
+  core::StagePredictor baseline(GoldenConfig(), options);
+  const ReplaySummary baseline_summary = ReplayTraced(baseline);
+
+  core::StagePredictor calibrated(CalibratedGoldenConfig(), options);
+  const ReplaySummary calibrated_summary = ReplayTraced(calibrated);
+
+  // The recalibrator engaged: its window filled, the scale refreshed away
+  // from the identity, and the trace stream (which serializes the scaled
+  // uncertainty with round-trip precision) moved.
+  ASSERT_NE(calibrated.recalibrator(), nullptr);
+  EXPECT_GT(calibrated.recalibrator()->refreshes(), 0u);
+  EXPECT_NE(calibrated.conformal_scale(), 1.0);
+  EXPECT_NE(calibrated_summary.values.at("trace_crc32"),
+            baseline_summary.values.at("trace_crc32"));
+  EXPECT_EQ(calibrated_summary.values.at("queries"),
+            baseline_summary.values.at("queries"));
+
+  CheckAgainstGolden(calibrated_summary.Serialize(), CalibratedGoldenPath());
 }
 
 // The serving layer must route bit-for-bit like the bare predictor: same

@@ -20,6 +20,7 @@
 
 #include <gtest/gtest.h>
 
+#include "stage/calib/conformal.h"
 #include "stage/ckpt/checkpoint.h"
 #include "stage/ckpt/snapshot_file.h"
 #include "stage/common/rng.h"
@@ -51,6 +52,22 @@ serve::PredictionServiceConfig TinyService() {
   config.cache_shards = 2;
   config.async_retrain = false;
   return config;
+}
+
+calib::ConformalConfig TinyConformal() {
+  calib::ConformalConfig config;
+  config.window_capacity = 64;
+  config.min_window = 16;
+  config.refresh_interval = 8;
+  return config;
+}
+
+// The recalibrator's fingerprint is its own Save stream: capacity, ring,
+// head, counters, and the published scale, byte for byte.
+std::string RecalibratorState(const calib::ConformalRecalibrator& r) {
+  std::ostringstream out;
+  r.Save(out);
+  return out.str();
 }
 
 std::vector<core::QueryContext> ProbeContexts() {
@@ -128,30 +145,49 @@ class SnapshotFuzzTest : public ::testing::Test {
     ASSERT_GT(service_->trainings(), 0);
     ASSERT_TRUE(predictor_->local_model().trained());
 
+    recalibrator_ = new calib::ConformalRecalibrator(TinyConformal());
+    {
+      Rng rng(2468);
+      for (int i = 0; i < 200; ++i) {
+        recalibrator_->Observe(std::abs(rng.NextGaussian()) * 1.4);
+      }
+    }
+    ASSERT_GT(recalibrator_->refreshes(), 0u);
+    ASSERT_NE(recalibrator_->scale(), 1.0);
+
     service_bytes_ = new std::string();
     predictor_bytes_ = new std::string();
     model_bytes_ = new std::string();
+    recalibrator_bytes_ = new std::string();
     const std::string service_path = TempPath("fuzz_service.snap");
     const std::string predictor_path = TempPath("fuzz_predictor.snap");
     const std::string model_path = TempPath("fuzz_model.snap");
+    const std::string recalibrator_path = TempPath("fuzz_recal.snap");
     ASSERT_TRUE(SaveServiceSnapshot(*service_, service_path));
     ASSERT_TRUE(SavePredictorSnapshot(*predictor_, predictor_path));
     ASSERT_TRUE(SaveLocalModelSnapshot(predictor_->local_model(), model_path));
+    ASSERT_TRUE(SaveRecalibratorSnapshot(*recalibrator_, recalibrator_path));
     *service_bytes_ = ReadFileBytes(service_path);
     *predictor_bytes_ = ReadFileBytes(predictor_path);
     *model_bytes_ = ReadFileBytes(model_path);
+    *recalibrator_bytes_ = ReadFileBytes(recalibrator_path);
     ASSERT_GT(service_bytes_->size(), 24u);  // More than the envelope header.
+    ASSERT_GT(recalibrator_bytes_->size(), 24u);
   }
 
   static void TearDownTestSuite() {
     delete service_;
     delete predictor_;
+    delete recalibrator_;
     delete service_bytes_;
     delete predictor_bytes_;
     delete model_bytes_;
+    delete recalibrator_bytes_;
     service_ = nullptr;
     predictor_ = nullptr;
+    recalibrator_ = nullptr;
     service_bytes_ = predictor_bytes_ = model_bytes_ = nullptr;
+    recalibrator_bytes_ = nullptr;
   }
 
   // Loads mutated service-snapshot bytes into a scratch service that
@@ -180,16 +216,20 @@ class SnapshotFuzzTest : public ::testing::Test {
 
   static serve::PredictionService* service_;
   static core::StagePredictor* predictor_;
+  static calib::ConformalRecalibrator* recalibrator_;
   static std::string* service_bytes_;
   static std::string* predictor_bytes_;
   static std::string* model_bytes_;
+  static std::string* recalibrator_bytes_;
 };
 
 serve::PredictionService* SnapshotFuzzTest::service_ = nullptr;
 core::StagePredictor* SnapshotFuzzTest::predictor_ = nullptr;
+calib::ConformalRecalibrator* SnapshotFuzzTest::recalibrator_ = nullptr;
 std::string* SnapshotFuzzTest::service_bytes_ = nullptr;
 std::string* SnapshotFuzzTest::predictor_bytes_ = nullptr;
 std::string* SnapshotFuzzTest::model_bytes_ = nullptr;
+std::string* SnapshotFuzzTest::recalibrator_bytes_ = nullptr;
 
 // -- Property 1+2: truncation at EVERY byte boundary fails cleanly and
 //    leaves the target untouched.
@@ -249,6 +289,82 @@ TEST_F(SnapshotFuzzTest, LocalModelTruncationAtEveryByteBoundary) {
   WriteFileBytes(path, *model_bytes_);
   ASSERT_TRUE(LoadLocalModelSnapshot(&scratch, path));
   EXPECT_TRUE(scratch.trained());
+}
+
+TEST_F(SnapshotFuzzTest, RecalibratorTruncationAtEveryByteBoundary) {
+  calib::ConformalRecalibrator scratch(TinyConformal());
+  // Pre-load the scratch with its own distinct state so "untouched"
+  // is distinguishable from "reset".
+  {
+    Rng rng(1357);
+    for (int i = 0; i < 80; ++i) {
+      scratch.Observe(std::abs(rng.NextGaussian()) * 0.7);
+    }
+  }
+  const std::string before = RecalibratorState(scratch);
+  const std::string path = TempPath("fuzz_trunc_recal.snap");
+  // The payload is small, so the untouched property is checked at EVERY
+  // boundary, not spot-checked: Load must be fully transactional.
+  for (size_t cut = 0; cut < recalibrator_bytes_->size(); ++cut) {
+    WriteFileBytes(path, recalibrator_bytes_->substr(0, cut));
+    std::string error;
+    ASSERT_FALSE(LoadRecalibratorSnapshot(&scratch, path, &error))
+        << "truncation at byte " << cut << " was accepted";
+    ASSERT_FALSE(error.empty()) << "no error at byte " << cut;
+    ASSERT_EQ(RecalibratorState(scratch), before)
+        << "half-applied state at byte " << cut;
+  }
+  // The intact snapshot restores bit-for-bit.
+  WriteFileBytes(path, *recalibrator_bytes_);
+  ASSERT_TRUE(LoadRecalibratorSnapshot(&scratch, path));
+  EXPECT_EQ(RecalibratorState(scratch), RecalibratorState(*recalibrator_));
+  EXPECT_EQ(scratch.scale(), recalibrator_->scale());
+}
+
+TEST_F(SnapshotFuzzTest, RecalibratorRandomBitFlips) {
+  calib::ConformalRecalibrator scratch(TinyConformal());
+  const std::string before = RecalibratorState(scratch);
+  const std::string path = TempPath("fuzz_flip_recal.snap");
+  Rng rng(20260808);
+  constexpr int kIterations = 400;
+  int accepted = 0;
+  for (int iteration = 0; iteration < kIterations; ++iteration) {
+    std::string mutated = *recalibrator_bytes_;
+    const int flips = 1 + static_cast<int>(rng.NextDouble() * 3);
+    for (int f = 0; f < flips; ++f) {
+      const size_t byte =
+          static_cast<size_t>(rng.NextDouble() * mutated.size()) %
+          mutated.size();
+      const int bit = static_cast<int>(rng.NextDouble() * 8);
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+    }
+    if (mutated == *recalibrator_bytes_) continue;  // Flips cancelled out.
+    WriteFileBytes(path, mutated);
+    std::string error;
+    if (LoadRecalibratorSnapshot(&scratch, path, &error)) {
+      ++accepted;
+    } else {
+      EXPECT_FALSE(error.empty()) << "iteration " << iteration;
+      EXPECT_EQ(RecalibratorState(scratch), before)
+          << "half-applied state, iteration " << iteration;
+    }
+  }
+  // The envelope CRC covers the whole payload: any flipped file that
+  // differs from the original must be rejected.
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST_F(SnapshotFuzzTest, RecalibratorCapacityMismatchIsRejected) {
+  calib::ConformalConfig other = TinyConformal();
+  other.window_capacity = 128;
+  calib::ConformalRecalibrator scratch(other);
+  const std::string before = RecalibratorState(scratch);
+  const std::string path = TempPath("fuzz_cap_recal.snap");
+  WriteFileBytes(path, *recalibrator_bytes_);  // Valid, but capacity 64.
+  std::string error;
+  EXPECT_FALSE(LoadRecalibratorSnapshot(&scratch, path, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(RecalibratorState(scratch), before);
 }
 
 // -- Property 3: random single/multi bit flips either fail cleanly or (if
@@ -321,10 +437,20 @@ TEST_F(SnapshotFuzzTest, KindConfusionIsRejected) {
   WriteFileBytes(path, *model_bytes_);  // A valid kLocalModel envelope.
   serve::PredictionService service_scratch(TinyService());
   core::StagePredictor predictor_scratch(TinyStage());
+  calib::ConformalRecalibrator recalibrator_scratch(TinyConformal());
   std::string error;
   EXPECT_FALSE(LoadServiceSnapshot(&service_scratch, path, &error));
   EXPECT_FALSE(error.empty());
   EXPECT_FALSE(LoadPredictorSnapshot(&predictor_scratch, path));
+  EXPECT_FALSE(LoadRecalibratorSnapshot(&recalibrator_scratch, path));
+
+  // And the reverse direction: a valid recalibrator envelope must be
+  // rejected by every other kind's loader.
+  WriteFileBytes(path, *recalibrator_bytes_);
+  EXPECT_FALSE(LoadServiceSnapshot(&service_scratch, path));
+  EXPECT_FALSE(LoadPredictorSnapshot(&predictor_scratch, path));
+  local::LocalModel model_scratch(TinyStage().local);
+  EXPECT_FALSE(LoadLocalModelSnapshot(&model_scratch, path));
 }
 
 }  // namespace

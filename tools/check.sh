@@ -75,6 +75,20 @@ else
 fi
 echo "=== bench JSON OK: ${wlm_bench_json} ==="
 
+echo "=== [release] calibration bench smoke (STAGE_BENCH_FAST=1) ==="
+(cd "${repo_root}/build-check-release/bench" && \
+  STAGE_BENCH_FAST=1 ./bench_calibration)
+calib_bench_json="${repo_root}/build-check-release/bench/BENCH_calibration.json"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "${calib_bench_json}" > /dev/null
+else
+  grep -q '"calibrated_coverage_better"' "${calib_bench_json}"
+fi
+# The coverage gate is the §4.8 acceptance bar: post-recalibration 90%
+# coverage error must beat pre.
+grep -q '"calibrated_coverage_better": true' "${calib_bench_json}"
+echo "=== bench JSON OK: ${calib_bench_json} ==="
+
 # Observability gate (also in --fast): the pinned golden routing replay
 # must match, and the CLI's Prometheus exposition must actually look like
 # one (obs_test validates the renderer structurally; this catches the CLI
@@ -95,6 +109,10 @@ if [[ "${fast}" -eq 0 ]]; then
   echo "=== [asan] checkpoint corruption fault-injection suite ==="
   "${repo_root}/build-check-asan/tests/ckpt_test" \
     --gtest_filter='CorruptionSuite*'
+  echo "=== [asan] calibration suite + snapshot fuzz (new ckpt kind) ==="
+  "${repo_root}/build-check-asan/tests/calib_test"
+  "${repo_root}/build-check-asan/tests/snapshot_fuzz_test" \
+    --gtest_filter='SnapshotFuzzTest.Recalibrator*'
   echo "=== [asan] fleet serving suite ==="
   "${repo_root}/build-check-asan/tests/fleet_serve_test"
   echo "=== [asan] closed-loop WLM suite ==="
@@ -107,6 +125,11 @@ if [[ "${fast}" -eq 0 ]]; then
   echo "=== [tsan] fleet serving concurrency gate ==="
   "${repo_root}/build-check-tsan/tests/fleet_serve_test" \
     --gtest_filter='FleetServiceTest.ConcurrentDisjointTenantsWithEvictorChurn'
+  # Readers predicting (lock-free scale loads) while the recalibrator
+  # observes completions: the §4.8 concurrency acceptance gate.
+  echo "=== [tsan] calibration concurrency gate ==="
+  "${repo_root}/build-check-tsan/tests/calib_test" \
+    --gtest_filter='CalibConcurrencyTest.ReadersPredictWhileRecalibratorObserves'
 fi
 
 echo "=== all checks passed ==="

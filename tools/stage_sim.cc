@@ -51,6 +51,8 @@
 #include <thread>
 #include <vector>
 
+#include "stage/calib/calibration.h"
+#include "stage/calib/conformal.h"
 #include "stage/ckpt/checkpoint.h"
 #include "stage/common/flags.h"
 #include "stage/common/stats.h"
@@ -77,13 +79,13 @@ const std::vector<std::string> kKnownFlags = {
     "global",    "members",  "rounds",      "help", "utilization",
     "short_slots", "long_slots", "threads", "shards", "sync",
     "stop_after", "restore_from", "skip", "metrics_out", "json",
-    "budget_mb", "policy", "slo_factor"};
+    "budget_mb", "policy", "slo_factor", "window", "anchor"};
 
 void PrintUsage() {
   std::printf(
       "usage: stage_sim "
-      "<trace|train-global|replay|wlm|serve|snapshot|stats|fleet-serve> "
-      "[flags]\n"
+      "<trace|train-global|replay|wlm|serve|snapshot|stats|calibrate|"
+      "fleet-serve> [flags]\n"
       "  common flags: --instances=N --queries=N --seed=N\n"
       "  trace:        --csv (per-query CSV to stdout)\n"
       "  train-global: --out=FILE (checkpoint path, default global.bin)\n"
@@ -111,6 +113,12 @@ void PrintUsage() {
       "  stats:        replay through an instrumented service, dump the\n"
       "                full registry to stdout (--json for the JSON dump;\n"
       "                --out=FILE also runs the periodic checkpointer)\n"
+      "  calibrate:    replay and score prediction-interval coverage at\n"
+      "                50/80/90/95%% before and after the online conformal\n"
+      "                recalibrator (prequential shadow scoring);\n"
+      "                --global=FILE --members=K --rounds=R --window=N\n"
+      "                (residual window capacity) --anchor=P (anchor\n"
+      "                confidence, default 0.9) --out=FILE (JSON report)\n"
       "  fleet-serve:  one tenant per instance through FleetService;\n"
       "                --threads=N --shards=N --budget_mb=M (resident-bytes\n"
       "                budget, 0 = unbounded) --sync (inline retrain)\n"
@@ -313,6 +321,96 @@ int RunReplay(const Flags& flags) {
   }
   std::printf("%s", table.Render().c_str());
   std::printf("global model: %s\n", use_global ? "loaded" : "not used");
+  return 0;
+}
+
+// Interval-calibration report (§4.8): replays every instance with the
+// flag-off predictor, scores each local prediction against the observed
+// exec-time twice — raw sigma ("pre") and sigma rescaled by a shadow
+// conformal recalibrator ("post") — prequentially, so "post" only ever
+// uses a scale fit on strictly earlier completions of the same stream.
+int RunCalibrate(const Flags& flags) {
+  global::GlobalModel global_model;
+  bool use_global = false;
+  if (!MaybeLoadGlobal(flags, &global_model, &use_global)) return 1;
+
+  calib::ConformalConfig conformal;
+  conformal.window_capacity =
+      static_cast<size_t>(flags.GetInt("window", 512));
+  conformal.anchor_confidence = flags.GetDouble("anchor", 0.9);
+  if (const std::string error = conformal.Validate(); !error.empty()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+
+  fleet::FleetGenerator generator(FleetFromFlags(flags));
+  calib::CalibrationHarness pre_harness;
+  calib::CalibrationHarness post_harness;
+  double final_scale = 1.0;
+  for (int i = 0; i < generator.config().num_instances; ++i) {
+    const fleet::InstanceTrace instance = generator.MakeInstanceTrace(i);
+    core::StagePredictorOptions options;
+    options.global_model = use_global ? &global_model : nullptr;
+    options.instance = &instance.config;
+    core::StagePredictor predictor(StageConfigFromFlags(flags), options);
+    calib::ConformalRecalibrator shadow(conformal);
+    for (const fleet::QueryEvent& event : instance.trace) {
+      const core::QueryContext context = core::MakeQueryContext(
+          event.plan, event.concurrent_queries,
+          static_cast<uint64_t>(event.arrival_ms));
+      obs::PredictionTrace trace;
+      predictor.PredictTraced(context, &trace);
+      if (calib::UsableLogStd(trace.uncertainty_log_std)) {
+        const int source = static_cast<int>(trace.stage);
+        pre_harness.Add({trace.predicted_seconds, trace.uncertainty_log_std,
+                         event.exec_seconds, source});
+        post_harness.Add({trace.predicted_seconds,
+                          trace.uncertainty_log_std * shadow.scale(),
+                          event.exec_seconds, source});
+        shadow.Observe(calib::NormalizedResidual(trace.predicted_seconds,
+                                                 trace.uncertainty_log_std,
+                                                 event.exec_seconds));
+      }
+      predictor.Observe(context, event.exec_seconds);
+    }
+    final_scale = shadow.scale();
+    std::fprintf(stderr, "[stage_sim] instance %d calibrated "
+                         "(shadow scale %.3f)\n",
+                 i, final_scale);
+  }
+
+  const calib::CalibrationReport pre = pre_harness.Report();
+  const calib::CalibrationReport post = post_harness.Report();
+  metrics::TextTable table;
+  table.SetHeader({"Nominal", "Pre coverage", "Post coverage"});
+  for (size_t i = 0; i < pre.levels.size(); ++i) {
+    char nominal[16];
+    std::snprintf(nominal, sizeof(nominal), "%.0f%%", 100.0 * pre.levels[i]);
+    table.AddRow({nominal, metrics::FormatValue(pre.observed[i]),
+                  metrics::FormatValue(post.observed[i])});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("scored %llu predictions (%llu excluded: no usable sigma)\n"
+              "ECE %.4f -> %.4f, coverage@90 error %.4f -> %.4f, final "
+              "shadow scale %.3f\n",
+              static_cast<unsigned long long>(pre.usable),
+              static_cast<unsigned long long>(pre.excluded), pre.ece,
+              post.ece, pre.CoverageErrorAt(0.9), post.CoverageErrorAt(0.9),
+              final_scale);
+
+  const std::string out_path = flags.GetString("out", "");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out || !(out << "{\n\"pre\": " << pre.ToJson() << ",\n\"post\": "
+                      << post.ToJson() << ",\n\"final_scale\": "
+                      << final_scale << "\n}\n")) {
+      std::fprintf(stderr, "error: cannot write report to %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[stage_sim] calibration report written to %s\n",
+                 out_path.c_str());
+  }
   return 0;
 }
 
@@ -740,6 +838,7 @@ int main(int argc, char** argv) {
   if (command == "serve") return RunServe(flags);
   if (command == "snapshot") return RunSnapshot(flags);
   if (command == "stats") return RunStats(flags);
+  if (command == "calibrate") return RunCalibrate(flags);
   if (command == "fleet-serve") return RunFleetServe(flags);
   std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
   PrintUsage();
