@@ -3,8 +3,7 @@
 #include <cstdio>
 #include <fstream>
 
-#include "stage/common/crc32.h"
-#include "stage/common/serialize.h"
+#include "stage/common/framing.h"
 
 namespace stage::ckpt {
 
@@ -48,59 +47,46 @@ std::optional<SnapshotKind> SnapshotKindFromName(std::string_view name) {
 
 void WriteSnapshotStream(std::ostream& out, SnapshotKind kind,
                          std::string_view payload) {
-  WritePod(out, kEnvelopeMagic);
-  WritePod(out, kEnvelopeVersion);
-  WritePod(out, static_cast<uint32_t>(kind));
-  WritePod<uint64_t>(out, payload.size());
-  WritePod(out, Crc32(payload));
-  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  // The snapshot envelope is one instance of the shared frame vocabulary
+  // (stage/common/framing.h); the byte layout is pinned by ckpt_test's
+  // envelope-bytes regression test.
+  WriteFrame(out, kEnvelopeMagic, kEnvelopeVersion,
+             static_cast<uint32_t>(kind), payload);
 }
 
 bool ReadSnapshotStream(std::istream& in, SnapshotKind kind,
                         std::string* payload, std::string* error) {
-  uint32_t magic = 0;
-  uint32_t version = 0;
-  uint32_t file_kind = 0;
-  uint64_t payload_size = 0;
-  uint32_t payload_crc = 0;
-  if (!ReadPod(in, &magic) || !ReadPod(in, &version) ||
-      !ReadPod(in, &file_kind) || !ReadPod(in, &payload_size) ||
-      !ReadPod(in, &payload_crc)) {
-    SetError(error, "snapshot header truncated");
-    return false;
+  FrameHeader header;
+  switch (ReadFrameHeader(in, kEnvelopeMagic, kEnvelopeVersion, &header)) {
+    case FrameStatus::kOk:
+      break;
+    case FrameStatus::kBadMagic:
+      SetError(error, "not a snapshot file (bad magic)");
+      return false;
+    case FrameStatus::kBadVersion:
+      SetError(error, "unsupported snapshot envelope version");
+      return false;
+    default:
+      SetError(error, "snapshot header truncated");
+      return false;
   }
-  if (magic != kEnvelopeMagic) {
-    SetError(error, "not a snapshot file (bad magic)");
-    return false;
-  }
-  if (version != kEnvelopeVersion) {
-    SetError(error, "unsupported snapshot envelope version");
-    return false;
-  }
-  if (file_kind != static_cast<uint32_t>(kind)) {
+  // The kind check sits between header and payload so a mismatched file is
+  // reported as such before any payload byte is read.
+  if (header.type != static_cast<uint32_t>(kind)) {
     SetError(error, std::string("snapshot kind mismatch: expected ") +
                         std::string(SnapshotKindName(kind)));
     return false;
   }
-  // Reject the declared size against the actual stream length before
-  // allocating, so a corrupt size field cannot trigger a huge allocation.
-  const std::optional<uint64_t> remaining = RemainingBytes(in);
-  if (remaining && payload_size > *remaining) {
-    SetError(error, "snapshot payload truncated");
-    return false;
+  switch (ReadFramePayload(in, header, payload)) {
+    case FrameStatus::kOk:
+      return true;
+    case FrameStatus::kCrcMismatch:
+      SetError(error, "snapshot payload checksum mismatch");
+      return false;
+    default:
+      SetError(error, "snapshot payload truncated");
+      return false;
   }
-  std::string bytes(payload_size, '\0');
-  in.read(bytes.data(), static_cast<std::streamsize>(payload_size));
-  if (!in) {
-    SetError(error, "snapshot payload truncated");
-    return false;
-  }
-  if (Crc32(bytes) != payload_crc) {
-    SetError(error, "snapshot payload checksum mismatch");
-    return false;
-  }
-  *payload = std::move(bytes);
-  return true;
 }
 
 bool WriteSnapshotFile(const std::string& path, SnapshotKind kind,

@@ -1,0 +1,107 @@
+#include "stage/common/framing.h"
+
+#include <optional>
+
+#include "stage/common/crc32.h"
+#include "stage/common/serialize.h"
+
+namespace stage {
+
+std::string_view FrameStatusName(FrameStatus status) {
+  switch (status) {
+    case FrameStatus::kOk:
+      return "ok";
+    case FrameStatus::kNeedMore:
+      return "need-more";
+    case FrameStatus::kTruncatedHeader:
+      return "truncated-header";
+    case FrameStatus::kBadMagic:
+      return "bad-magic";
+    case FrameStatus::kBadVersion:
+      return "bad-version";
+    case FrameStatus::kTooLarge:
+      return "too-large";
+    case FrameStatus::kTruncatedPayload:
+      return "truncated-payload";
+    case FrameStatus::kCrcMismatch:
+      return "crc-mismatch";
+  }
+  return "unknown";
+}
+
+void WriteFrame(std::ostream& out, uint32_t magic, uint32_t version,
+                uint32_t type, std::string_view payload) {
+  WritePod(out, magic);
+  WritePod(out, version);
+  WritePod(out, type);
+  WritePod<uint64_t>(out, payload.size());
+  WritePod(out, Crc32(payload));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+FrameStatus ReadFrameHeader(std::istream& in, uint32_t magic,
+                            uint32_t version, FrameHeader* header) {
+  if (!ReadPod(in, &header->magic) || !ReadPod(in, &header->version) ||
+      !ReadPod(in, &header->type) || !ReadPod(in, &header->payload_size) ||
+      !ReadPod(in, &header->payload_crc)) {
+    return FrameStatus::kTruncatedHeader;
+  }
+  if (header->magic != magic) return FrameStatus::kBadMagic;
+  if (header->version != version) return FrameStatus::kBadVersion;
+  return FrameStatus::kOk;
+}
+
+FrameStatus ReadFramePayload(std::istream& in, const FrameHeader& header,
+                             std::string* payload) {
+  // Reject the declared size against the actual stream length before
+  // allocating, so a corrupt size field cannot trigger a huge allocation.
+  const std::optional<uint64_t> remaining = RemainingBytes(in);
+  if (remaining && header.payload_size > *remaining) {
+    return FrameStatus::kTruncatedPayload;
+  }
+  std::string bytes(header.payload_size, '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(header.payload_size));
+  if (!in) return FrameStatus::kTruncatedPayload;
+  if (Crc32(bytes) != header.payload_crc) return FrameStatus::kCrcMismatch;
+  *payload = std::move(bytes);
+  return FrameStatus::kOk;
+}
+
+void AppendFrame(std::string* out, uint32_t magic, uint32_t version,
+                 uint32_t type, std::string_view payload) {
+  AppendPod(out, magic);
+  AppendPod(out, version);
+  AppendPod(out, type);
+  AppendPod<uint64_t>(out, payload.size());
+  AppendPod(out, Crc32(payload));
+  out->append(payload.data(), payload.size());
+}
+
+FrameStatus DecodeFrame(std::string_view buffer, uint32_t magic,
+                        uint32_t version, uint64_t max_payload,
+                        FrameHeader* header, std::string_view* payload,
+                        size_t* frame_bytes) {
+  if (buffer.size() < kFrameHeaderBytes) return FrameStatus::kNeedMore;
+  ByteReader reader(buffer);
+  // Reads from a >= 24-byte buffer cannot fail.
+  (void)reader.Read(&header->magic);
+  (void)reader.Read(&header->version);
+  (void)reader.Read(&header->type);
+  (void)reader.Read(&header->payload_size);
+  (void)reader.Read(&header->payload_crc);
+  // Magic/version/size sanity comes before waiting for payload bytes: a
+  // garbage header must fail immediately, not stall the connection waiting
+  // for a "payload" that will never arrive.
+  if (header->magic != magic) return FrameStatus::kBadMagic;
+  if (header->version != version) return FrameStatus::kBadVersion;
+  if (header->payload_size > max_payload) return FrameStatus::kTooLarge;
+  if (reader.remaining() < header->payload_size) return FrameStatus::kNeedMore;
+  std::string_view bytes;
+  (void)reader.ReadBytes(header->payload_size, &bytes);
+  if (Crc32(bytes) != header->payload_crc) return FrameStatus::kCrcMismatch;
+  *payload = bytes;
+  *frame_bytes = kFrameHeaderBytes + static_cast<size_t>(header->payload_size);
+  return FrameStatus::kOk;
+}
+
+}  // namespace stage

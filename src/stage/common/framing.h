@@ -1,0 +1,145 @@
+#ifndef STAGE_COMMON_FRAMING_H_
+#define STAGE_COMMON_FRAMING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace stage {
+
+// One serialization vocabulary for every length-prefixed, CRC-checked
+// envelope in the system (the ROADMAP refactor note): the `ckpt` snapshot
+// envelope ("SSNP") and the network wire protocol ("SNET") are both
+// instances of this 24-byte frame:
+//
+//   u32 magic     format family ("SSNP", "SNET", ...)
+//   u32 version   envelope format version within the family
+//   u32 type      family-specific discriminator (SnapshotKind, MessageType)
+//   u64 payload_size
+//   u32 payload_crc32
+//   payload bytes
+//
+// The CRC covers the payload bytes, so truncation (size mismatch) and bit
+// rot (checksum mismatch) are both detected before any payload parser runs.
+// Stream readers (checkpoint files) and buffer decoders (socket receive
+// buffers) share the header layout byte for byte.
+struct FrameHeader {
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint32_t type = 0;
+  uint64_t payload_size = 0;
+  uint32_t payload_crc = 0;
+};
+
+inline constexpr size_t kFrameHeaderBytes =
+    sizeof(uint32_t) * 4 + sizeof(uint64_t);  // 24.
+
+// Structured result of header/payload verification, mapped to caller
+// vocabulary ("snapshot header truncated", protocol error frames) at the
+// edges. kNeedMore is a buffer-decoder-only status: the frame is not fully
+// buffered yet and the caller should read more bytes.
+enum class FrameStatus {
+  kOk = 0,
+  kNeedMore,
+  kTruncatedHeader,
+  kBadMagic,
+  kBadVersion,
+  kTooLarge,
+  kTruncatedPayload,
+  kCrcMismatch,
+};
+
+std::string_view FrameStatusName(FrameStatus status);
+
+// ---- Stream side (checkpoint files) -----------------------------------
+
+// Writes one complete frame. The byte layout is pinned by ckpt_test's
+// envelope-bytes regression test — changing it invalidates every snapshot
+// on disk.
+void WriteFrame(std::ostream& out, uint32_t magic, uint32_t version,
+                uint32_t type, std::string_view payload);
+
+// Reads and validates the 24-byte header (magic, then version). The
+// family-specific `type` is NOT checked here — callers inspect
+// header->type between the two calls so e.g. a snapshot kind mismatch can
+// be reported before the payload is touched.
+FrameStatus ReadFrameHeader(std::istream& in, uint32_t magic,
+                            uint32_t version, FrameHeader* header);
+
+// Reads the payload declared by a validated header and checks its CRC.
+// The declared size is rejected against the actual remaining stream length
+// before allocating, so a corrupt size field cannot trigger a huge
+// allocation.
+FrameStatus ReadFramePayload(std::istream& in, const FrameHeader& header,
+                             std::string* payload);
+
+// ---- Buffer side (socket receive buffers) -----------------------------
+
+// Appends one complete frame to `out` (allocation amortizes into the
+// caller's reused buffer).
+void AppendFrame(std::string* out, uint32_t magic, uint32_t version,
+                 uint32_t type, std::string_view payload);
+
+// Attempts to decode one frame from the front of `buffer`.
+//  * kOk: fills header/payload (a view INTO `buffer`) and `frame_bytes`
+//    (header + payload — what the caller consumes).
+//  * kNeedMore: not enough bytes buffered yet; read more and retry.
+//  * anything else: the stream is unsynchronized or corrupt; the
+//    connection-level caller should reply with an error and close.
+// `max_payload` bounds the declared payload size (kTooLarge beyond it) so
+// a hostile length field cannot make the receiver buffer gigabytes.
+FrameStatus DecodeFrame(std::string_view buffer, uint32_t magic,
+                        uint32_t version, uint64_t max_payload,
+                        FrameHeader* header, std::string_view* payload,
+                        size_t* frame_bytes);
+
+// ---- Flat-buffer POD helpers ------------------------------------------
+// The buffer-side analogue of WritePod/ReadPod in serialize.h: payload
+// builders append into a reused std::string, parsers walk a string_view
+// cursor. Little-endian raw PODs, same portability contract as
+// serialize.h.
+
+template <typename T>
+void AppendPod(std::string* out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+// Bounds-checked forward cursor over a byte buffer. Every Read* returns
+// false on underflow and leaves the cursor unspecified (parsers bail out
+// on the first failure).
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  bool Read(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (data_.size() - pos_ < sizeof(T)) return false;
+    std::memcpy(value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadBytes(size_t n, std::string_view* out) {
+    if (data_.size() - pos_ < n) return false;
+    *out = data_.substr(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool empty() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace stage
+
+#endif  // STAGE_COMMON_FRAMING_H_

@@ -1,0 +1,194 @@
+#include "stage/net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace stage::net {
+
+namespace {
+
+void SetClientError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+}  // namespace
+
+std::unique_ptr<Client> Client::Connect(const std::string& host, int port,
+                                        std::string* error) {
+  if (port <= 0 || port > 65535) {
+    SetClientError(error, "port out of range");
+    return nullptr;
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    SetClientError(error, std::string("socket: ") + std::strerror(errno));
+    return nullptr;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    SetClientError(error, "host must be an IPv4 address literal");
+    return nullptr;
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    SetClientError(error, std::string("connect: ") + std::strerror(errno));
+    close(fd);
+    return nullptr;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+bool Client::SendMessage(MessageType type, std::string_view payload,
+                         std::string* error) {
+  scratch_.clear();
+  AppendMessage(&scratch_, type, payload);
+  return SendRaw(scratch_, error);
+}
+
+bool Client::SendRaw(std::string_view bytes, std::string* error) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    // MSG_NOSIGNAL: a server-side close must surface as EPIPE, not kill
+    // the process with SIGPIPE.
+    const ssize_t n =
+        send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    SetClientError(error, std::string("write: ") + std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+bool Client::ReceiveMessage(MessageType* type, std::string* payload,
+                            std::string* error) {
+  while (true) {
+    FrameHeader header;
+    std::string_view payload_view;
+    size_t frame_bytes = 0;
+    const FrameStatus status = DecodeFrame(
+        std::string_view(recv_buf_).substr(recv_pos_), kWireMagic,
+        kWireVersion, kMaxWirePayloadBytes, &header, &payload_view,
+        &frame_bytes);
+    if (status == FrameStatus::kOk) {
+      *type = static_cast<MessageType>(header.type);
+      payload->assign(payload_view);
+      recv_pos_ += frame_bytes;
+      if (recv_pos_ == recv_buf_.size()) {
+        recv_buf_.clear();
+        recv_pos_ = 0;
+      }
+      return true;
+    }
+    if (status != FrameStatus::kNeedMore) {
+      SetClientError(error, std::string("bad frame from server: ") +
+                                std::string(FrameStatusName(status)));
+      return false;
+    }
+    char chunk[16 * 1024];
+    const ssize_t n = read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      recv_buf_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    SetClientError(error, n == 0 ? "server closed the connection"
+                                 : std::string("read: ") +
+                                       std::strerror(errno));
+    return false;
+  }
+}
+
+Client::RpcStatus Client::Predict(const PredictRequest& request,
+                                  PredictResponse* response,
+                                  ErrorReply* error_reply,
+                                  std::string* transport_error) {
+  std::string payload;
+  AppendPredictRequest(&payload, request);
+  if (!SendMessage(MessageType::kPredictRequest, payload, transport_error)) {
+    return RpcStatus::kTransport;
+  }
+  MessageType type;
+  std::string reply;
+  if (!ReceiveMessage(&type, &reply, transport_error)) {
+    return RpcStatus::kTransport;
+  }
+  switch (type) {
+    case MessageType::kPredictResponse:
+      if (!ParsePredictResponse(reply, response)) {
+        SetClientError(transport_error, "predict response did not parse");
+        return RpcStatus::kTransport;
+      }
+      return RpcStatus::kOk;
+    case MessageType::kError: {
+      ErrorReply parsed;
+      if (!ParseErrorReply(reply, &parsed)) {
+        SetClientError(transport_error, "error reply did not parse");
+        return RpcStatus::kTransport;
+      }
+      if (error_reply != nullptr) *error_reply = std::move(parsed);
+      return RpcStatus::kError;
+    }
+    case MessageType::kShutdown:
+      return RpcStatus::kShutdown;
+    default:
+      SetClientError(transport_error, "unexpected reply type");
+      return RpcStatus::kTransport;
+  }
+}
+
+Client::RpcStatus Client::Observe(const ObserveRequest& request,
+                                  ObserveAck* ack, ErrorReply* error_reply,
+                                  std::string* transport_error) {
+  std::string payload;
+  AppendObserveRequest(&payload, request);
+  if (!SendMessage(MessageType::kObserveRequest, payload, transport_error)) {
+    return RpcStatus::kTransport;
+  }
+  MessageType type;
+  std::string reply;
+  if (!ReceiveMessage(&type, &reply, transport_error)) {
+    return RpcStatus::kTransport;
+  }
+  switch (type) {
+    case MessageType::kObserveAck:
+      if (!ParseObserveAck(reply, ack)) {
+        SetClientError(transport_error, "observe ack did not parse");
+        return RpcStatus::kTransport;
+      }
+      return RpcStatus::kOk;
+    case MessageType::kError: {
+      ErrorReply parsed;
+      if (!ParseErrorReply(reply, &parsed)) {
+        SetClientError(transport_error, "error reply did not parse");
+        return RpcStatus::kTransport;
+      }
+      if (error_reply != nullptr) *error_reply = std::move(parsed);
+      return RpcStatus::kError;
+    }
+    case MessageType::kShutdown:
+      return RpcStatus::kShutdown;
+    default:
+      SetClientError(transport_error, "unexpected reply type");
+      return RpcStatus::kTransport;
+  }
+}
+
+}  // namespace stage::net

@@ -1,0 +1,62 @@
+#ifndef STAGE_NET_CLIENT_H_
+#define STAGE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "stage/net/wire.h"
+
+namespace stage::net {
+
+// A simple blocking binary-mode client: one request in flight at a time,
+// framed exactly like the server expects. Tests, the stage_sim CLI, and
+// tenant setup use this; the load generator (loadgen.h) speaks the same
+// frames over its own nonblocking pipelined sockets instead.
+class Client {
+ public:
+  // What the server said in response to an RPC.
+  enum class RpcStatus {
+    kOk = 0,     // The expected response arrived.
+    kError,      // The server replied with an error frame (see *error_reply).
+    kShutdown,   // The server announced shutdown instead of answering.
+    kTransport,  // Socket/framing failure; *transport_error describes it.
+  };
+
+  // Connects (blocking) to host:port. Null + filled error on failure.
+  static std::unique_ptr<Client> Connect(const std::string& host, int port,
+                                         std::string* error);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  RpcStatus Predict(const PredictRequest& request, PredictResponse* response,
+                    ErrorReply* error_reply, std::string* transport_error);
+  RpcStatus Observe(const ObserveRequest& request, ObserveAck* ack,
+                    ErrorReply* error_reply, std::string* transport_error);
+
+  // Raw frame I/O (fuzz and protocol tests).
+  bool SendMessage(MessageType type, std::string_view payload,
+                   std::string* error);
+  // Sends raw bytes with no framing at all (corruption injection).
+  bool SendRaw(std::string_view bytes, std::string* error);
+  // Blocks until one well-formed frame arrives.
+  bool ReceiveMessage(MessageType* type, std::string* payload,
+                      std::string* error);
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string recv_buf_;
+  size_t recv_pos_ = 0;
+  std::string scratch_;
+};
+
+}  // namespace stage::net
+
+#endif  // STAGE_NET_CLIENT_H_

@@ -1,0 +1,350 @@
+#include "stage/net/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "stage/common/macros.h"
+
+namespace stage::net {
+
+// ---- Writer ------------------------------------------------------------
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // The key already emitted the separator bookkeeping.
+  }
+  if (depth_ > 0 && has_element_[depth_]) out_->push_back(',');
+  if (depth_ > 0) has_element_[depth_] = true;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  STAGE_CHECK(depth_ < kMaxDepth);
+  out_->push_back('{');
+  has_element_[++depth_] = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  STAGE_CHECK(depth_ > 0);
+  --depth_;
+  out_->push_back('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  STAGE_CHECK(depth_ < kMaxDepth);
+  out_->push_back('[');
+  has_element_[++depth_] = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  STAGE_CHECK(depth_ > 0);
+  --depth_;
+  out_->push_back(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  if (has_element_[depth_]) out_->push_back(',');
+  has_element_[depth_] = true;
+  AppendEscaped(key);
+  out_->push_back(':');
+  // The value that follows must not emit its own separator.
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  AppendEscaped(value);
+  return *this;
+}
+
+void JsonWriter::AppendEscaped(std::string_view value) {
+  out_->push_back('"');
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out_->append("\\\"");
+        break;
+      case '\\':
+        out_->append("\\\\");
+        break;
+      case '\n':
+        out_->append("\\n");
+        break;
+      case '\r':
+        out_->append("\\r");
+        break;
+      case '\t':
+        out_->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_->append(buf);
+        } else {
+          out_->push_back(c);
+        }
+    }
+  }
+  out_->push_back('"');
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    // JSON has no NaN/Inf; null is the conventional stand-in.
+    out_->append("null");
+    return *this;
+  }
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_->append(buf, static_cast<size_t>(n));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof(buf), "%lld",
+                              static_cast<long long>(value));
+  out_->append(buf, static_cast<size_t>(n));
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof(buf), "%llu",
+                              static_cast<unsigned long long>(value));
+  out_->append(buf, static_cast<size_t>(n));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_->append(value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_->append("null");
+  return *this;
+}
+
+// ---- Parser ------------------------------------------------------------
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  const auto it = object.find(std::string(key));
+  return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+constexpr int kMaxParseDepth = 32;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue* value) {
+    SkipWhitespace();
+    if (!ParseValue(value, 0)) return false;
+    SkipWhitespace();
+    return pos_ == text_.size();  // Trailing garbage is an error.
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue* value, int depth) {
+    if (depth > kMaxParseDepth || pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(value, depth);
+      case '[':
+        return ParseArray(value, depth);
+      case '"':
+        value->type = JsonValue::Type::kString;
+        return ParseString(&value->string_value);
+      case 't':
+        value->type = JsonValue::Type::kBool;
+        value->bool_value = true;
+        return ConsumeLiteral("true");
+      case 'f':
+        value->type = JsonValue::Type::kBool;
+        value->bool_value = false;
+        return ConsumeLiteral("false");
+      case 'n':
+        value->type = JsonValue::Type::kNull;
+        return ConsumeLiteral("null");
+      default:
+        return ParseNumber(value);
+    }
+  }
+
+  bool ParseObject(JsonValue* value, int depth) {
+    value->type = JsonValue::Type::kObject;
+    if (!Consume('{')) return false;
+    SkipWhitespace();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWhitespace();
+      if (!Consume(':')) return false;
+      SkipWhitespace();
+      JsonValue member;
+      if (!ParseValue(&member, depth + 1)) return false;
+      value->object[std::move(key)] = std::move(member);
+      SkipWhitespace();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool ParseArray(JsonValue* value, int depth) {
+    value->type = JsonValue::Type::kArray;
+    if (!Consume('[')) return false;
+    SkipWhitespace();
+    if (Consume(']')) return true;
+    while (true) {
+      SkipWhitespace();
+      JsonValue element;
+      if (!ParseValue(&element, depth + 1)) return false;
+      value->array.push_back(std::move(element));
+      SkipWhitespace();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          // ASCII only; anything wider is replaced (request fields that
+          // matter are numeric).
+          out->push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // Unterminated.
+  }
+
+  bool ParseNumber(JsonValue* value) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(parsed)) {
+      return false;
+    }
+    value->type = JsonValue::Type::kNumber;
+    value->number = parsed;
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool ParseJson(std::string_view text, JsonValue* value) {
+  return Parser(text).Parse(value);
+}
+
+}  // namespace stage::net

@@ -1,0 +1,87 @@
+#ifndef STAGE_NET_JSON_H_
+#define STAGE_NET_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stage::net {
+
+// ---- Writer ------------------------------------------------------------
+//
+// A small allocation-light JSON writer in the spirit of reflection-style
+// serializers (getml's rfl/json Writer): values append straight into a
+// caller-owned, reused std::string — no DOM, no intermediate
+// stringstreams, no per-value allocation once the output buffer is warm.
+// Comma/nesting state lives in a fixed-depth stack, so emitting a response
+// line is pure byte appends. Doubles print with %.17g, which round-trips
+// IEEE-754 exactly.
+//
+//   JsonWriter w(&buf);
+//   w.BeginObject();
+//   w.Key("id").UInt(7);
+//   w.Key("seconds").Double(0.25);
+//   w.EndObject();   // buf == {"id":7,"seconds":0.25}
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string* out) : out_(out) {}
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Double(double value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+ private:
+  static constexpr int kMaxDepth = 16;
+  void BeforeValue();
+  void AppendEscaped(std::string_view value);
+
+  std::string* out_;
+  // Per-depth flag: has the current scope emitted its first element yet?
+  bool has_element_[kMaxDepth + 1] = {};
+  int depth_ = 0;
+  bool pending_key_ = false;
+};
+
+// ---- Parser ------------------------------------------------------------
+//
+// Minimal DOM for inbound JSON-mode request lines. Strict enough for a
+// network edge: depth-capped, size comes pre-bounded by the server's line
+// limit, tolerates whitespace, rejects trailing garbage. Numbers parse as
+// double (ids up to 2^53 are exact, plenty for a line-mode debug client).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  // Duplicate keys: last wins (the usual lenient behavior).
+  std::map<std::string, JsonValue> object;
+
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+// Parses exactly one JSON value spanning the whole input (modulo
+// whitespace). Returns false on any syntax error, depth beyond 32, or
+// trailing bytes.
+bool ParseJson(std::string_view text, JsonValue* value);
+
+}  // namespace stage::net
+
+#endif  // STAGE_NET_JSON_H_

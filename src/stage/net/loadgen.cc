@@ -1,0 +1,331 @@
+#include "stage/net/loadgen.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace stage::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void SetLoadgenError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+struct Conn {
+  int fd = -1;
+  bool connected = false;  // connect() completion pending until POLLOUT.
+  bool dead = false;
+  std::string out;
+  size_t out_pos = 0;
+  std::string in;
+  size_t in_pos = 0;
+  int64_t sent = 0;
+  int64_t done = 0;
+  std::vector<Clock::time_point> send_times;  // Indexed by sequence number.
+};
+
+// Request ids carry the connection index in the high 32 bits so a response
+// routes back to its send timestamp without a map.
+uint64_t MakeRequestId(size_t conn_index, int64_t seq) {
+  return (static_cast<uint64_t>(conn_index) << 32) |
+         static_cast<uint64_t>(seq);
+}
+
+}  // namespace
+
+std::string LoadgenConfig::Validate() const {
+  if (host.empty()) return "host must not be empty";
+  if (port <= 0 || port > 65535) return "port must be in [1, 65535]";
+  if (connections < 1 || connections > 4096) {
+    return "connections must be in [1, 4096]";
+  }
+  if (pipeline < 1) return "pipeline must be >= 1";
+  if (requests_per_connection < 1) {
+    return "requests_per_connection must be >= 1";
+  }
+  if (tenants < 1) return "tenants must be >= 1";
+  if (concurrent_queries < 0) return "concurrent_queries must be >= 0";
+  return "";
+}
+
+bool RunLoadgen(const LoadgenConfig& config,
+                const std::vector<plan::Plan>& plans, LoadgenResult* result,
+                std::string* error) {
+  {
+    const std::string problem = config.Validate();
+    if (!problem.empty()) {
+      SetLoadgenError(error, problem);
+      return false;
+    }
+  }
+  if (plans.empty()) {
+    SetLoadgenError(error, "plan pool must not be empty");
+    return false;
+  }
+  *result = LoadgenResult{};
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(config.port));
+  if (inet_pton(AF_INET, config.host.c_str(), &addr.sin_addr) != 1) {
+    SetLoadgenError(error, "host must be an IPv4 address literal");
+    return false;
+  }
+
+  std::vector<Conn> conns(static_cast<size_t>(config.connections));
+  for (size_t i = 0; i < conns.size(); ++i) {
+    Conn& conn = conns[i];
+    conn.fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (conn.fd < 0) {
+      SetLoadgenError(error, std::string("socket: ") + std::strerror(errno));
+      for (Conn& c : conns) {
+        if (c.fd >= 0) close(c.fd);
+      }
+      return false;
+    }
+    const int one = 1;
+    setsockopt(conn.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (connect(conn.fd, reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) == 0) {
+      conn.connected = true;
+    } else if (errno != EINPROGRESS) {
+      SetLoadgenError(error,
+                      std::string("connect: ") + std::strerror(errno));
+      for (Conn& c : conns) {
+        if (c.fd >= 0) close(c.fd);
+      }
+      return false;
+    }
+    conn.send_times.resize(
+        static_cast<size_t>(config.requests_per_connection));
+  }
+
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(conns.size() *
+                       static_cast<size_t>(config.requests_per_connection));
+  std::string payload_scratch;
+
+  const auto refill = [&](size_t conn_index) {
+    Conn& conn = conns[conn_index];
+    while (!conn.dead && conn.sent < config.requests_per_connection &&
+           conn.sent - conn.done < config.pipeline) {
+      PredictRequest request;
+      request.request_id = MakeRequestId(conn_index, conn.sent);
+      request.tenant = static_cast<uint64_t>(
+          conn_index % static_cast<size_t>(config.tenants));
+      request.concurrent_queries = config.concurrent_queries;
+      request.tick = static_cast<uint64_t>(conn.sent);
+      request.plan =
+          plans[(conn_index + static_cast<size_t>(conn.sent)) %
+                plans.size()];
+      payload_scratch.clear();
+      AppendPredictRequest(&payload_scratch, request);
+      conn.send_times[static_cast<size_t>(conn.sent)] = Clock::now();
+      AppendMessage(&conn.out, MessageType::kPredictRequest,
+                    payload_scratch);
+      ++conn.sent;
+    }
+  };
+
+  const auto flush_out = [&](Conn& conn) {
+    while (conn.out_pos < conn.out.size()) {
+      const ssize_t n = send(conn.fd, conn.out.data() + conn.out_pos,
+                             conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.out_pos += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      return false;
+    }
+    conn.out.clear();
+    conn.out_pos = 0;
+    return true;
+  };
+
+  const Clock::time_point start = Clock::now();
+  for (size_t i = 0; i < conns.size(); ++i) {
+    refill(i);
+    if (conns[i].connected && !flush_out(conns[i])) conns[i].dead = true;
+  }
+
+  std::vector<pollfd> pfds;
+  std::vector<size_t> pfd_conn;
+  while (true) {
+    int64_t remaining = 0;
+    pfds.clear();
+    pfd_conn.clear();
+    for (size_t i = 0; i < conns.size(); ++i) {
+      Conn& conn = conns[i];
+      if (conn.dead) continue;
+      if (conn.done >= config.requests_per_connection) continue;
+      remaining += config.requests_per_connection - conn.done;
+      pollfd pfd{};
+      pfd.fd = conn.fd;
+      pfd.events = POLLIN;
+      if (!conn.connected || conn.out_pos < conn.out.size()) {
+        pfd.events |= POLLOUT;
+      }
+      pfds.push_back(pfd);
+      pfd_conn.push_back(i);
+    }
+    if (remaining == 0 || pfds.empty()) break;
+
+    const int ready = poll(pfds.data(), pfds.size(), 10'000);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      SetLoadgenError(error, std::string("poll: ") + std::strerror(errno));
+      break;
+    }
+    if (ready == 0) {
+      SetLoadgenError(error, "loadgen stalled: no socket progress in 10s");
+      break;
+    }
+
+    for (size_t p = 0; p < pfds.size(); ++p) {
+      if (pfds[p].revents == 0) continue;
+      Conn& conn = conns[pfd_conn[p]];
+      if ((pfds[p].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+          (pfds[p].revents & POLLIN) == 0) {
+        conn.dead = true;
+        continue;
+      }
+      if ((pfds[p].revents & POLLOUT) != 0) {
+        if (!conn.connected) {
+          int so_error = 0;
+          socklen_t len = sizeof(so_error);
+          getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+          if (so_error != 0) {
+            conn.dead = true;
+            continue;
+          }
+          conn.connected = true;
+        }
+        if (!flush_out(conn)) {
+          conn.dead = true;
+          continue;
+        }
+      }
+      if ((pfds[p].revents & POLLIN) != 0) {
+        // Drain the socket.
+        char chunk[64 * 1024];
+        bool closed = false;
+        while (true) {
+          const ssize_t n = read(conn.fd, chunk, sizeof(chunk));
+          if (n > 0) {
+            conn.in.append(chunk, static_cast<size_t>(n));
+            continue;
+          }
+          if (n < 0 && errno == EINTR) continue;
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          closed = true;
+          break;
+        }
+        // Decode complete frames.
+        while (true) {
+          FrameHeader header;
+          std::string_view frame_payload;
+          size_t frame_bytes = 0;
+          const FrameStatus status = DecodeFrame(
+              std::string_view(conn.in).substr(conn.in_pos), kWireMagic,
+              kWireVersion, kMaxWirePayloadBytes, &header, &frame_payload,
+              &frame_bytes);
+          if (status == FrameStatus::kNeedMore) break;
+          if (status != FrameStatus::kOk) {
+            conn.dead = true;
+            break;
+          }
+          conn.in_pos += frame_bytes;
+          const auto type = static_cast<MessageType>(header.type);
+          if (type == MessageType::kPredictResponse) {
+            PredictResponse response;
+            if (ParsePredictResponse(frame_payload, &response)) {
+              const size_t conn_index = response.request_id >> 32;
+              const auto seq =
+                  static_cast<int64_t>(response.request_id & 0xffffffffu);
+              if (conn_index == pfd_conn[p] && seq >= 0 &&
+                  seq < config.requests_per_connection) {
+                const double ms =
+                    std::chrono::duration<double, std::milli>(
+                        Clock::now() -
+                        conn.send_times[static_cast<size_t>(seq)])
+                        .count();
+                latencies_ms.push_back(ms);
+                result->source_counts[static_cast<size_t>(
+                    response.source)] += 1;
+              }
+              ++result->completed;
+              ++conn.done;
+            } else {
+              conn.dead = true;
+              break;
+            }
+          } else if (type == MessageType::kError) {
+            ++result->errors;
+            ++conn.done;  // The request is finished, just unhappily.
+          } else if (type == MessageType::kShutdown) {
+            conn.dead = true;
+            break;
+          }  // Anything else: ignore.
+        }
+        if (conn.in_pos == conn.in.size()) {
+          conn.in.clear();
+          conn.in_pos = 0;
+        }
+        if (!conn.dead && conn.done < config.requests_per_connection) {
+          refill(pfd_conn[p]);
+          if (!flush_out(conn)) conn.dead = true;
+        }
+        if (closed) conn.dead = true;
+      }
+    }
+  }
+
+  result->elapsed_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  for (Conn& conn : conns) {
+    if (conn.fd >= 0) close(conn.fd);
+  }
+
+  if (result->completed == 0) {
+    if (error != nullptr && error->empty()) {
+      SetLoadgenError(error, "no responses received");
+    }
+    return false;
+  }
+  result->qps = result->elapsed_seconds > 0.0
+                    ? static_cast<double>(result->completed) /
+                          result->elapsed_seconds
+                    : 0.0;
+  if (!latencies_ms.empty()) {
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    double sum = 0.0;
+    for (const double v : latencies_ms) sum += v;
+    result->mean_ms = sum / static_cast<double>(latencies_ms.size());
+    const auto quantile = [&](double q) {
+      const size_t index = std::min(
+          latencies_ms.size() - 1,
+          static_cast<size_t>(q * static_cast<double>(latencies_ms.size())));
+      return latencies_ms[index];
+    };
+    result->p50_ms = quantile(0.50);
+    result->p99_ms = quantile(0.99);
+  }
+  // Dead connections before finishing their quota mean lost requests; the
+  // caller decides whether partial completion is acceptable.
+  return true;
+}
+
+}  // namespace stage::net

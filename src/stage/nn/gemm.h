@@ -53,7 +53,12 @@ class Arena {
 // the kernel broadcasts x[k] and accumulates into a register block of
 // output columns, so each output element still sums bias-first in
 // ascending k while the contiguous wt row provides the SIMD axis — fast
-// even for single-row (one plan) calls. Row blocks fan out on `pool` when
+// even for single-row (one plan) calls. On AVX2 machines, groups of four
+// rows run through a row-tiled kernel that streams each weight row once
+// for the whole tile (the batched-inference hot path behind the network
+// micro-batcher); the tile uses separate multiply and add — never fused —
+// so its outputs match the per-row kernel bit for bit and the contract
+// above holds on every machine. Row blocks fan out on `pool` when
 // provided.
 void GemmBias(int rows, int out_dim, int in_dim, const float* x,
               const float* wt, const float* bias, float* y,

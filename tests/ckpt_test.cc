@@ -22,6 +22,7 @@
 
 #include "stage/ckpt/checkpoint.h"
 #include "stage/ckpt/snapshot_file.h"
+#include "stage/common/crc32.h"
 #include "stage/common/rng.h"
 #include "stage/core/stage_predictor.h"
 #include "stage/fleet/fleet.h"
@@ -177,6 +178,43 @@ TEST(SnapshotStreamTest, RejectsBadMagic) {
   std::string restored;
   EXPECT_FALSE(ReadSnapshotStream(corrupted, SnapshotKind::kExecTimeCache,
                                   &restored));
+}
+
+// Regression pin for the refactor that moved the envelope onto the shared
+// frame vocabulary (stage/common/framing.h): the on-disk bytes of every
+// existing snapshot must stay EXACTLY as they were — u32 magic "SSNP", u32
+// version 1, u32 kind, u64 payload size, u32 payload CRC32, payload, all
+// little-endian. If this test fails, every snapshot in the wild is
+// unreadable; fix the code, not the test.
+TEST(SnapshotStreamTest, EnvelopeBytesArePinnedToTheSharedFrameLayout) {
+  const std::string payload = "pinned-envelope-payload";
+  std::stringstream buffer;
+  WriteSnapshotStream(buffer, SnapshotKind::kStagePredictor, payload);
+  const std::string bytes = buffer.str();
+
+  std::string expected;
+  const auto append_u32 = [&expected](uint32_t value) {
+    expected.append(reinterpret_cast<const char*>(&value), sizeof(value));
+  };
+  append_u32(0x53534e50u);  // "SSNP".
+  append_u32(1u);           // Envelope version.
+  append_u32(static_cast<uint32_t>(SnapshotKind::kStagePredictor));
+  const auto size64 = static_cast<uint64_t>(payload.size());
+  expected.append(reinterpret_cast<const char*>(&size64), sizeof(size64));
+  append_u32(Crc32(payload));
+  expected += payload;
+
+  ASSERT_EQ(bytes.size(), expected.size());
+  EXPECT_EQ(bytes, expected);
+
+  // And the pinned bytes still read back through the public API.
+  std::istringstream in(expected);
+  std::string restored;
+  std::string error;
+  ASSERT_TRUE(ReadSnapshotStream(in, SnapshotKind::kStagePredictor,
+                                 &restored, &error))
+      << error;
+  EXPECT_EQ(restored, payload);
 }
 
 TEST(SnapshotFileTest, PublishesAtomicallyAndRemovesTmp) {

@@ -89,6 +89,20 @@ fi
 grep -q '"calibrated_coverage_better": true' "${calib_bench_json}"
 echo "=== bench JSON OK: ${calib_bench_json} ==="
 
+echo "=== [release] network serving bench smoke (STAGE_BENCH_FAST=1) ==="
+(cd "${repo_root}/build-check-release/bench" && \
+  STAGE_BENCH_FAST=1 ./bench_net_serve)
+net_bench_json="${repo_root}/build-check-release/bench/BENCH_net_serve.json"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "${net_bench_json}" > /dev/null
+else
+  grep -q '"qps_speedup"' "${net_bench_json}"
+fi
+# ROADMAP item 3 acceptance bar: adaptive micro-batching must be >= 2x the
+# batching-disabled baseline at equal-or-better p99, 16+ connections.
+grep -q '"pass": true' "${net_bench_json}"
+echo "=== bench JSON OK: ${net_bench_json} ==="
+
 # Observability gate (also in --fast): the pinned golden routing replay
 # must match, and the CLI's Prometheus exposition must actually look like
 # one (obs_test validates the renderer structurally; this catches the CLI
@@ -115,6 +129,8 @@ if [[ "${fast}" -eq 0 ]]; then
     --gtest_filter='SnapshotFuzzTest.Recalibrator*'
   echo "=== [asan] fleet serving suite ==="
   "${repo_root}/build-check-asan/tests/fleet_serve_test"
+  echo "=== [asan] wire-protocol fuzz suite (truncation/bit-flip/length lies) ==="
+  "${repo_root}/build-check-asan/tests/net_fuzz_test"
   echo "=== [asan] closed-loop WLM suite ==="
   "${repo_root}/build-check-asan/tests/wlm_test"
   "${repo_root}/build-check-asan/tests/wlm_closed_loop_test"
@@ -130,6 +146,12 @@ if [[ "${fast}" -eq 0 ]]; then
   echo "=== [tsan] calibration concurrency gate ==="
   "${repo_root}/build-check-tsan/tests/calib_test" \
     --gtest_filter='CalibConcurrencyTest.ReadersPredictWhileRecalibratorObserves'
+  # Multi-connection blast + graceful shutdown over real sockets: the
+  # network edge's TSan acceptance gate (workers, batcher thread, listener
+  # and client threads all racing).
+  echo "=== [tsan] network serving concurrency gate ==="
+  "${repo_root}/build-check-tsan/tests/net_test" \
+    --gtest_filter='NetStressTest.*'
 fi
 
 echo "=== all checks passed ==="

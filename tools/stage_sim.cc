@@ -28,6 +28,13 @@
 //   serve --restore_from=FILE --skip=K resumes a suspended replay from a
 //                 snapshot: the service comes up warm (cache, pool, local
 //                 model) and the writer continues at event K.
+//   serve-net     Run the epoll prediction server (FleetService behind a
+//                 socket) for --duration_s seconds, one tenant per
+//                 instance; publishes the bound port via --port_file and
+//                 prints serving stats on shutdown.
+//   loadgen       Drive a serve-net endpoint with pipelined predict
+//                 requests over N connections; prints qps and latency
+//                 percentiles.
 //
 // Examples:
 //   stage_sim trace --instances=2 --queries=500
@@ -40,6 +47,8 @@
 //       --restore_from=snap.bin --skip=1000
 //   stage_sim stats --queries=2000 --shards=4
 //   stage_sim serve --queries=2000 --metrics_out=metrics.prom
+//   stage_sim serve-net --port=7433 --workers=2 --window_us=200 &
+//   stage_sim loadgen --port=7433 --connections=16 --requests=500
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -48,6 +57,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -64,6 +74,8 @@
 #include "stage/global/global_model.h"
 #include "stage/metrics/error_metrics.h"
 #include "stage/metrics/report.h"
+#include "stage/net/loadgen.h"
+#include "stage/net/server.h"
 #include "stage/obs/metrics.h"
 #include "stage/serve/prediction_service.h"
 #include "stage/wlm/policy.h"
@@ -79,13 +91,16 @@ const std::vector<std::string> kKnownFlags = {
     "global",    "members",  "rounds",      "help", "utilization",
     "short_slots", "long_slots", "threads", "shards", "sync",
     "stop_after", "restore_from", "skip", "metrics_out", "json",
-    "budget_mb", "policy", "slo_factor", "window", "anchor"};
+    "budget_mb", "policy", "slo_factor", "window", "anchor",
+    "host", "port", "port_file", "workers", "window_us", "max_batch",
+    "queue_bound", "max_conns", "duration_s", "connections", "pipeline",
+    "requests", "tenants", "concurrent"};
 
 void PrintUsage() {
   std::printf(
       "usage: stage_sim "
       "<trace|train-global|replay|wlm|serve|snapshot|stats|calibrate|"
-      "fleet-serve> [flags]\n"
+      "fleet-serve|serve-net|loadgen> [flags]\n"
       "  common flags: --instances=N --queries=N --seed=N\n"
       "  trace:        --csv (per-query CSV to stdout)\n"
       "  train-global: --out=FILE (checkpoint path, default global.bin)\n"
@@ -123,6 +138,18 @@ void PrintUsage() {
       "                --threads=N --shards=N --budget_mb=M (resident-bytes\n"
       "                budget, 0 = unbounded) --sync (inline retrain)\n"
       "                --out=FILE (indexed fleet snapshot after the replay)\n"
+      "  serve-net:    epoll prediction server: FleetService behind a\n"
+      "                socket, one tenant per instance; --port=N (0 binds\n"
+      "                an ephemeral port) --port_file=FILE (publish the\n"
+      "                bound port) --workers=N --window_us=N (0 disables\n"
+      "                micro-batching) --max_batch=N --queue_bound=N\n"
+      "                --max_conns=N --duration_s=S --global=FILE\n"
+      "                --metrics_out=FILE\n"
+      "  loadgen:      pipelined predict load against a serve-net\n"
+      "                endpoint: --port=N (required) --host=A\n"
+      "                --connections=N --pipeline=N --requests=N (per\n"
+      "                connection) --tenants=N --concurrent=N; plans come\n"
+      "                from the generated trace (--queries/--seed)\n"
       "  --metrics_out=FILE writes Prometheus text exposition, or the JSON\n"
       "  dump when FILE ends in .json\n");
 }
@@ -816,6 +843,169 @@ int RunFleetServe(const Flags& flags) {
   return 0;
 }
 
+int RunServeNet(const Flags& flags) {
+  global::GlobalModel global_model;
+  bool use_global = false;
+  if (!MaybeLoadGlobal(flags, &global_model, &use_global)) return 1;
+
+  fleet::FleetConfig fleet_config = FleetFromFlags(flags);
+  fleet_config.workload.num_queries =
+      static_cast<int>(flags.GetInt("queries", 200));
+  fleet::FleetGenerator generator(fleet_config);
+  const size_t num_tenants = static_cast<size_t>(fleet_config.num_instances);
+  std::vector<fleet::InstanceTrace> instances;
+  instances.reserve(num_tenants);
+  for (size_t t = 0; t < num_tenants; ++t) {
+    instances.push_back(generator.MakeInstanceTrace(static_cast<int>(t)));
+  }
+
+  obs::MetricsRegistry registry;
+  fleet_serve::FleetServiceConfig fleet_service_config;
+  fleet_service_config.stack.predictor = StageConfigFromFlags(flags);
+  fleet_service_config.stack.cache_shards =
+      static_cast<size_t>(flags.GetInt("shards", 4));
+  fleet_service_config.async_retrain = !flags.GetBool("sync", false);
+  fleet_serve::FleetService service(fleet_service_config,
+                                    {.metrics = &registry});
+  for (size_t t = 0; t < num_tenants; ++t) {
+    service.RegisterTenant(
+        t, {.global_model = use_global ? &global_model : nullptr,
+            .instance = &instances[t].config});
+  }
+
+  net::ServerConfig server_config;
+  server_config.host = flags.GetString("host", "127.0.0.1");
+  server_config.port = static_cast<int>(flags.GetInt("port", 0));
+  server_config.num_workers = static_cast<int>(flags.GetInt("workers", 2));
+  server_config.batch_window_us = flags.GetInt("window_us", 200);
+  server_config.max_batch = flags.GetInt("max_batch", 64);
+  server_config.queue_bound = flags.GetInt("queue_bound", 1024);
+  server_config.max_connections = flags.GetInt("max_conns", 256);
+  {
+    const std::string problem = server_config.Validate();
+    if (!problem.empty()) {
+      std::fprintf(stderr, "error: %s\n", problem.c_str());
+      return 1;
+    }
+  }
+  net::Server server(&service, server_config, {.metrics = &registry});
+  std::printf("serve-net: listening on %s:%d (%zu tenants, %d workers, "
+              "window %lldus, global model %s)\n",
+              server_config.host.c_str(), server.port(), num_tenants,
+              server_config.num_workers,
+              static_cast<long long>(server_config.batch_window_us),
+              use_global ? "loaded" : "absent");
+  std::fflush(stdout);
+
+  // Publish the bound port last so a script polling the file knows the
+  // server is accepting by the time the file is readable.
+  const std::string port_file = flags.GetString("port_file", "");
+  if (!port_file.empty()) {
+    std::ofstream out(port_file, std::ios::trunc);
+    if (!out || !(out << server.port() << "\n")) {
+      std::fprintf(stderr, "error: cannot write port file %s\n",
+                   port_file.c_str());
+      return 1;
+    }
+  }
+
+  const int64_t duration_s = flags.GetInt("duration_s", 5);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(duration_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.Shutdown();
+
+  const net::ServerStats stats = server.Stats();
+  uint64_t errors = 0;
+  for (const uint64_t count : stats.errors_by_code) errors += count;
+  std::printf("serve-net: %llu connections (%llu rejected), %llu frames "
+              "in, %llu predictions (%llu batched, %llu inline), %llu "
+              "observes, %llu errors\n",
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.connections_rejected),
+              static_cast<unsigned long long>(stats.frames_in),
+              static_cast<unsigned long long>(stats.predictions_batched +
+                                              stats.predictions_inline),
+              static_cast<unsigned long long>(stats.predictions_batched),
+              static_cast<unsigned long long>(stats.predictions_inline),
+              static_cast<unsigned long long>(stats.observes),
+              static_cast<unsigned long long>(errors));
+  const obs::Histogram::Snapshot batches = server.batch_size_histogram();
+  if (batches.count > 0) {
+    std::printf("serve-net: %llu batch flushes, mean batch %.1f, final "
+                "effective window %llu us\n",
+                static_cast<unsigned long long>(batches.count),
+                batches.sum / static_cast<double>(batches.count),
+                static_cast<unsigned long long>(stats.effective_window_us));
+  }
+  const std::string metrics_out = flags.GetString("metrics_out", "");
+  if (!metrics_out.empty() && !DumpMetrics(registry, metrics_out)) return 1;
+  return 0;
+}
+
+int RunLoadgenCmd(const Flags& flags) {
+  net::LoadgenConfig config;
+  config.host = flags.GetString("host", "127.0.0.1");
+  config.port = static_cast<int>(flags.GetInt("port", 0));
+  config.connections = static_cast<int>(flags.GetInt("connections", 16));
+  config.pipeline = static_cast<int>(flags.GetInt("pipeline", 8));
+  config.requests_per_connection = flags.GetInt("requests", 500);
+  config.tenants = static_cast<int>(flags.GetInt("tenants", 1));
+  config.concurrent_queries = static_cast<int>(flags.GetInt("concurrent", 8));
+  {
+    const std::string problem = config.Validate();
+    if (!problem.empty()) {
+      std::fprintf(stderr, "error: %s\n", problem.c_str());
+      return 1;
+    }
+  }
+
+  // The plan pool: same generator the server uses, so plans look like the
+  // tenant's own workload (any plan is valid for any registered tenant).
+  fleet::FleetConfig fleet_config = FleetFromFlags(flags);
+  fleet_config.workload.num_queries =
+      static_cast<int>(flags.GetInt("queries", 200));
+  fleet::FleetGenerator generator(fleet_config);
+  const fleet::InstanceTrace instance = generator.MakeInstanceTrace(0);
+  std::vector<plan::Plan> plans;
+  plans.reserve(instance.trace.size());
+  for (const auto& event : instance.trace) plans.push_back(event.plan);
+
+  net::LoadgenResult result;
+  std::string error;
+  if (!RunLoadgen(config, plans, &result, &error)) {
+    std::fprintf(stderr, "error: loadgen failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("loadgen: %llu completed, %llu errors in %.2fs (%.0f qps)\n",
+              static_cast<unsigned long long>(result.completed),
+              static_cast<unsigned long long>(result.errors),
+              result.elapsed_seconds, result.qps);
+  std::printf("loadgen: latency mean %.3fms p50 %.3fms p99 %.3fms\n",
+              result.mean_ms, result.p50_ms, result.p99_ms);
+  std::printf("loadgen: sources");
+  for (size_t s = 0; s < result.source_counts.size(); ++s) {
+    const std::string_view name = core::PredictionSourceName(
+        static_cast<core::PredictionSource>(s));
+    std::printf(" %.*s=%llu", static_cast<int>(name.size()), name.data(),
+                static_cast<unsigned long long>(result.source_counts[s]));
+  }
+  std::printf("\n");
+  const uint64_t expected = static_cast<uint64_t>(config.connections) *
+                            static_cast<uint64_t>(
+                                config.requests_per_connection);
+  if (result.completed + result.errors != expected) {
+    std::fprintf(stderr, "error: %llu of %llu requests unanswered\n",
+                 static_cast<unsigned long long>(expected - result.completed -
+                                                 result.errors),
+                 static_cast<unsigned long long>(expected));
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -840,6 +1030,8 @@ int main(int argc, char** argv) {
   if (command == "stats") return RunStats(flags);
   if (command == "calibrate") return RunCalibrate(flags);
   if (command == "fleet-serve") return RunFleetServe(flags);
+  if (command == "serve-net") return RunServeNet(flags);
+  if (command == "loadgen") return RunLoadgenCmd(flags);
   std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
   PrintUsage();
   return 1;
